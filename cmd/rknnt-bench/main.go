@@ -1,0 +1,53 @@
+// Command rknnt-bench regenerates the tables and figures of the paper's
+// evaluation section on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	rknnt-bench                 # run every experiment in paper order
+//	rknnt-bench -exp fig9       # run one experiment
+//	rknnt-bench -list           # list experiment IDs
+//	rknnt-bench -scale 1 -queries 100   # full-cardinality datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	cfg := exp.DefaultConfig()
+	expID := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.IntVar(&cfg.Scale, "scale", cfg.Scale, "divide the paper's dataset cardinalities by this factor (1 = full scale)")
+	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per data point")
+	flag.IntVar(&cfg.SynTransitions, "syn", cfg.SynTransitions, "NYC-Synthetic transition count (paper: 10000000)")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "query sampling seed")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	suite := exp.NewSuite(cfg)
+	ids := exp.IDs()
+	if *expID != "" {
+		ids = []string{*expID}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := suite.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rknnt-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Format())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

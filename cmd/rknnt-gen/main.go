@@ -1,0 +1,119 @@
+// Command rknnt-gen emits a synthetic city dataset, either as CSV files
+// for external tooling or as a single binary snapshot for fast reload.
+//
+// Usage:
+//
+//	rknnt-gen -preset la -scale 8 -out ./data            # CSV files
+//	rknnt-gen -preset nyc -scale 8 -format snapshot -out ./data
+//
+// CSV mode writes routes.csv, transitions.csv and edges.csv; snapshot mode
+// writes city.snapshot (see internal/dataio).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	preset := flag.String("preset", "la", "city preset: la, nyc or syn")
+	scale := flag.Int("scale", 8, "divide the paper's cardinalities by this factor")
+	synN := flag.Int("syn", 1000000, "transition count for the syn preset")
+	format := flag.String("format", "csv", "output format: csv or snapshot")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	var cfg gen.Config
+	switch *preset {
+	case "la":
+		cfg = gen.LA(*scale)
+	case "nyc":
+		cfg = gen.NYC(*scale)
+	case "syn":
+		cfg = gen.Synthetic(*scale, *synN)
+	default:
+		fatal(fmt.Errorf("unknown preset %q (want la, nyc or syn)", *preset))
+	}
+
+	city, err := gen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "csv":
+		if err := writeFile(filepath.Join(*out, "routes.csv"), func(f *os.File) error {
+			return dataio.WriteRoutesCSV(f, city.Dataset.Routes)
+		}); err != nil {
+			fatal(err)
+		}
+		if err := writeFile(filepath.Join(*out, "transitions.csv"), func(f *os.File) error {
+			return dataio.WriteTransitionsCSV(f, city.Dataset.Transitions)
+		}); err != nil {
+			fatal(err)
+		}
+		if err := writeFile(filepath.Join(*out, "edges.csv"), func(f *os.File) error {
+			return writeEdges(f, city)
+		}); err != nil {
+			fatal(err)
+		}
+	case "snapshot":
+		if err := writeFile(filepath.Join(*out, "city.snapshot"), func(f *os.File) error {
+			return dataio.WriteSnapshot(f, city.Dataset, city.Graph)
+		}); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (want csv or snapshot)", *format))
+	}
+	fmt.Printf("wrote %d routes, %d transitions, %d edges to %s (%s)\n",
+		len(city.Dataset.Routes), len(city.Dataset.Transitions), city.Graph.NumEdges(), *out, *format)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rknnt-gen: %v\n", err)
+	os.Exit(1)
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeEdges(f *os.File, city *gen.City) error {
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"u", "v", "w_km"}); err != nil {
+		return err
+	}
+	g := city.Graph
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, e := range g.Neighbors(graph.VertexID(u)) {
+			if int32(u) < e.To { // each undirected edge once
+				rec := []string{strconv.Itoa(u), strconv.Itoa(int(e.To)), fmt.Sprintf("%.6f", e.W)}
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

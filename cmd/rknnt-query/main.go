@@ -1,0 +1,133 @@
+// Command rknnt-query runs ad-hoc RkNNT and MaxRkNNT queries against a
+// generated synthetic city, printing results and timing. It is the
+// interactive face of the library for exploration and demos.
+//
+// Examples:
+//
+//	rknnt-query -preset nyc -scale 8 -k 10 -qlen 5 -interval 3
+//	rknnt-query -preset la -scale 8 -plan -tau-ratio 1.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/planner"
+)
+
+func main() {
+	preset := flag.String("preset", "la", "city preset: la or nyc")
+	scale := flag.Int("scale", 8, "dataset scale divisor")
+	k := flag.Int("k", 10, "k in RkNNT")
+	qlen := flag.Int("qlen", 5, "query route points")
+	interval := flag.Float64("interval", 3, "query interval (km)")
+	seed := flag.Int64("seed", 1, "query seed")
+	method := flag.String("method", "dc", "method: fr, vo, dc or bf")
+	forAll := flag.Bool("forall", false, "use ForAll semantics instead of Exists")
+	plan := flag.Bool("plan", false, "run a MaxRkNNT/MinRkNNT planning query instead")
+	tauRatio := flag.Float64("tau-ratio", 1.4, "tau as a multiple of the shortest distance (planning)")
+	flag.Parse()
+
+	var cfg gen.Config
+	switch *preset {
+	case "la":
+		cfg = gen.LA(*scale)
+	case "nyc":
+		cfg = gen.NYC(*scale)
+	default:
+		fatal(fmt.Errorf("unknown preset %q", *preset))
+	}
+
+	fmt.Printf("generating %s city (scale 1/%d)...\n", *preset, *scale)
+	city, err := gen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexing %d routes / %d transitions...\n",
+		len(city.Dataset.Routes), len(city.Dataset.Transitions))
+	x, err := index.Build(city.Dataset)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	if *plan {
+		runPlan(city, x, rng, *k, *tauRatio)
+		return
+	}
+
+	m, ok := map[string]core.Method{
+		"fr": core.FilterRefine, "vo": core.Voronoi, "dc": core.DivideConquer, "bf": core.BruteForce,
+	}[*method]
+	if !ok {
+		fatal(fmt.Errorf("unknown method %q (want fr, vo, dc or bf)", *method))
+	}
+	sem := core.Exists
+	if *forAll {
+		sem = core.ForAll
+	}
+	query := city.Query(rng, *qlen, *interval)
+	fmt.Printf("query route (%d points, %.1f km intervals): %v\n", *qlen, *interval, query)
+	ids, stats, err := core.RkNNT(x, query, core.Options{K: *k, Method: m, Semantics: sem})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s/%s k=%d: %d transitions attracted\n", m, sem, *k, len(ids))
+	fmt.Printf("  filtering    %v (%d filter points, %d routes)\n", stats.Filter.Round(time.Microsecond), stats.FilterPoints, stats.FilterRoutes)
+	fmt.Printf("  verification %v (%d candidates -> %d results)\n", stats.Verify.Round(time.Microsecond), stats.Candidates, stats.Results)
+	show := ids
+	if len(show) > 10 {
+		show = show[:10]
+	}
+	fmt.Printf("  first results: %v\n", show)
+}
+
+func runPlan(city *gen.City, x *index.Index, rng *rand.Rand, k int, tauRatio float64) {
+	fmt.Printf("precomputing per-vertex RkNNT sets (k=%d) over %d vertices...\n",
+		k, city.Graph.NumVertices())
+	pre, err := planner.Precompute(x, city.Graph, k, core.DivideConquer)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  RkNNT pass %v, shortest-distance pass %v\n",
+		pre.RkNNTTime.Round(time.Millisecond), pre.ShortestTime.Round(time.Millisecond))
+
+	s, e, ok := city.ODPair(rng, 5, 15)
+	if !ok {
+		fatal(fmt.Errorf("no origin/destination pair found"))
+	}
+	_, sd, ok2 := city.Graph.ShortestPath(s, e)
+	if !ok2 {
+		fatal(fmt.Errorf("endpoints disconnected"))
+	}
+	tau := sd * tauRatio
+	fmt.Printf("planning %d -> %d, shortest %.2f km, tau %.2f km\n", s, e, sd, tau)
+	for _, obj := range []planner.Objective{planner.Maximize, planner.Minimize} {
+		start := time.Now()
+		res, ok, err := pre.Plan(s, e, tau, planner.Options{Objective: obj, UseLemma4: true, MaxExpansions: 20000})
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Printf("%v: no feasible route\n", obj)
+			continue
+		}
+		suffix := ""
+		if res.Truncated {
+			suffix = " [search truncated at expansion cap; best found]"
+		}
+		fmt.Printf("%v: %d passengers, %.2f km, %d stops (%v)%s\n",
+			obj, res.Count, res.Dist, len(res.Path), time.Since(start).Round(time.Millisecond), suffix)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rknnt-query: %v\n", err)
+	os.Exit(1)
+}

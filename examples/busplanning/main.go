@@ -1,0 +1,91 @@
+// Bus route planning with MaxRkNNT / MinRkNNT (Section 6 of the paper):
+// given a start stop, an end stop and a travel distance budget, find the
+// route through the bus network that attracts the most passengers (a new
+// profitable bus line or ride-share run) and the one that attracts the
+// fewest (an emergency corridor), and compare both against the shortest
+// path — the Figure 21 comparison on a synthetic city.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	rknnt "repro"
+)
+
+func main() {
+	city, err := rknnt.GenerateCity(rknnt.CityConfig{
+		Seed:  99,
+		Width: 20, Height: 20,
+		GridStep:       2.0,
+		Jitter:         0.25,
+		NumRoutes:      60,
+		RouteMinStops:  4,
+		RouteMaxStops:  10,
+		NumTransitions: 8000,
+		HotspotCount:   15,
+		HotspotSigma:   1.5,
+		BackgroundFrac: 0.15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := rknnt.Open(city.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 10
+	fmt.Printf("precomputing per-stop RkNNT sets (k=%d, %d stops)...\n", k, city.Graph.NumVertices())
+	start := time.Now()
+	pl, err := db.NewPlanner(city.Graph, k, rknnt.DivideConquer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("precomputation done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	rng := rand.New(rand.NewSource(7))
+	s, e, ok := city.ODPair(rng, 8, 12)
+	if !ok {
+		log.Fatal("no origin/destination pair")
+	}
+	sp, sd, ok := city.Graph.ShortestPath(s, e)
+	if !ok {
+		log.Fatal("endpoints disconnected")
+	}
+	tau := sd * 1.4
+	fmt.Printf("from stop %d to stop %d: shortest %.2f km, budget tau = %.2f km\n\n", s, e, sd, tau)
+
+	fmt.Println("route       time       passengers  distance  stops")
+	fmt.Printf("%-10s  %-9s  %10d  %7.2f  %5d\n", "Shortest", "n/a", passengers(db, city, sp, k), sd, len(sp))
+
+	for _, obj := range []rknnt.Objective{rknnt.Maximize, rknnt.Minimize} {
+		t0 := time.Now()
+		res, ok, err := pl.Plan(s, e, tau, rknnt.PlanOptions{Objective: obj, UseLemma4: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("%v: no feasible route\n", obj)
+			continue
+		}
+		fmt.Printf("%-10s  %-9v  %10d  %7.2f  %5d\n",
+			obj, time.Since(t0).Round(time.Millisecond), res.Count, res.Dist, len(res.Path))
+	}
+}
+
+// passengers estimates |ω(R)| for an arbitrary stop path by querying the
+// route's points directly.
+func passengers(db *rknnt.DB, city *rknnt.City, path []rknnt.VertexID, k int) int {
+	pts := make([]rknnt.Point, len(path))
+	for i, v := range path {
+		pts[i] = city.Graph.Point(v)
+	}
+	res, err := db.RkNNT(pts, rknnt.QueryOptions{K: k, Method: rknnt.DivideConquer})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return len(res.Transitions)
+}

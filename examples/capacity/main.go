@@ -1,0 +1,90 @@
+// Capacity estimation: the paper's first motivating application. Given a
+// city's bus routes and a day of passenger transitions, estimate each
+// route's expected ridership with RkNNT — the transitions that would take
+// the route as one of their k nearest — and rank the network's busiest and
+// quietest lines. The temporal query option splits demand into morning and
+// evening peaks, the paper's "adjust frequency by time period" use case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	rknnt "repro"
+)
+
+func main() {
+	// A scaled-down LA-like city with time-stamped transitions across one
+	// day (86400 seconds).
+	cfg := rknnt.LAConfig(16)
+	cfg.TimeSpan = 86400
+	city, err := rknnt.GenerateCity(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := rknnt.Open(city.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %d routes, %d transitions\n\n", db.NumRoutes(), db.NumTransitions())
+
+	const k = 5
+	type ridership struct {
+		route rknnt.RouteID
+		all   int
+		am    int // 06:00-10:00
+		pm    int // 16:00-20:00
+	}
+	var stats []ridership
+
+	for _, r := range city.Dataset.Routes {
+		// Estimating an existing route: remove its own points first so it
+		// does not compete with itself (as in the paper's Figure 16 runs).
+		route := *db.Route(r.ID)
+		db.RemoveRoute(r.ID)
+
+		all, err := db.RkNNT(route.Pts, rknnt.QueryOptions{K: k, Method: rknnt.DivideConquer})
+		if err != nil {
+			log.Fatal(err)
+		}
+		am, err := db.RkNNT(route.Pts, rknnt.QueryOptions{
+			K: k, Method: rknnt.DivideConquer, TimeFrom: 6 * 3600, TimeTo: 10 * 3600,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pm, err := db.RkNNT(route.Pts, rknnt.QueryOptions{
+			K: k, Method: rknnt.DivideConquer, TimeFrom: 16 * 3600, TimeTo: 20 * 3600,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats = append(stats, ridership{
+			route: r.ID,
+			all:   len(all.Transitions),
+			am:    len(am.Transitions),
+			pm:    len(pm.Transitions),
+		})
+		if err := db.AddRoute(route); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sort.Slice(stats, func(i, j int) bool { return stats[i].all > stats[j].all })
+	fmt.Printf("top 5 busiest routes (k=%d):\n", k)
+	fmt.Println("route  riders  am-peak  pm-peak")
+	for _, s := range stats[:5] {
+		fmt.Printf("%5d  %6d  %7d  %7d\n", s.route, s.all, s.am, s.pm)
+	}
+	fmt.Printf("\nbottom 3 (candidates for reduced frequency):\n")
+	for _, s := range stats[len(stats)-3:] {
+		fmt.Printf("%5d  %6d  %7d  %7d\n", s.route, s.all, s.am, s.pm)
+	}
+
+	total := 0
+	for _, s := range stats {
+		total += s.all
+	}
+	fmt.Printf("\nmean estimated ridership: %.1f transitions/route\n", float64(total)/float64(len(stats)))
+}

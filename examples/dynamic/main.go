@@ -1,0 +1,73 @@
+// Dynamic updates: the paper's motivating scenario of continuously
+// arriving passenger requests (e.g. ride-share demand). A sliding one-hour
+// window of transitions flows through the index — new requests are
+// inserted, expired ones dropped — while a driver's planned route is
+// re-evaluated with RkNNT after every batch. No rebuild ever happens; this
+// is precisely the "dynamic updates" property Section 4.1.2 claims over
+// model-based prior work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	rknnt "repro"
+)
+
+func main() {
+	cfg := rknnt.NYCConfig(32)
+	cfg.NumTransitions = 0 // start empty; everything arrives via the stream
+	city, err := rknnt.GenerateCity(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := rknnt.Open(city.Dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	query := rknnt.GenerateQuery(city, rng, 5, 2)
+	fmt.Printf("driver's planned route: %d points\n", len(query))
+	fmt.Println("\n  time    arrivals  expired  window-size  attracted  (k=5)")
+
+	const (
+		window   = 3600 // seconds
+		batch    = 600  // one batch every 10 simulated minutes
+		perBatch = 400
+		batches  = 12
+	)
+	nextID := rknnt.TransitionID(1)
+	clock := int64(0)
+	hot := city.Stops
+
+	for b := 0; b < batches; b++ {
+		clock += batch
+		// New requests cluster near stops, like check-ins.
+		for i := 0; i < perBatch; i++ {
+			h := hot[rng.Intn(len(hot))]
+			tr := rknnt.Transition{
+				ID:   nextID,
+				O:    rknnt.Pt(h.X+rng.NormFloat64()*1.5, h.Y+rng.NormFloat64()*1.5),
+				D:    rknnt.Pt(h.X+rng.NormFloat64()*4, h.Y+rng.NormFloat64()*4),
+				Time: clock,
+			}
+			if err := db.AddTransition(tr); err != nil {
+				log.Fatal(err)
+			}
+			nextID++
+		}
+		expired := db.ExpireTransitionsBefore(clock - window)
+
+		res, err := db.RkNNT(query, rknnt.QueryOptions{K: 5, Method: rknnt.DivideConquer})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %02d:%02d  %8d  %7d  %11d  %9d\n",
+			clock/3600, clock%3600/60, perBatch, expired, db.NumTransitions(), len(res.Transitions))
+	}
+
+	fmt.Println("\nthe window stays bounded while answers track live demand;")
+	fmt.Println("no index rebuild was needed at any point.")
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a tiny dataset by hand, index it, and run RkNNT
+// queries under both semantics — the minimal end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rknnt "repro"
+)
+
+func main() {
+	// Two bus routes and a handful of passenger transitions. Coordinates
+	// are kilometres; stop IDs tie shared stops together (routes 1 and 2
+	// share stop 2, which strengthens index-level pruning).
+	ds := &rknnt.Dataset{
+		Routes: []rknnt.Route{
+			{ID: 1, Stops: []rknnt.StopID{0, 1, 2, 3},
+				Pts: []rknnt.Point{rknnt.Pt(0, 0), rknnt.Pt(2, 0), rknnt.Pt(4, 0), rknnt.Pt(6, 0)}},
+			{ID: 2, Stops: []rknnt.StopID{2, 4, 5},
+				Pts: []rknnt.Point{rknnt.Pt(4, 0), rknnt.Pt(4, 2), rknnt.Pt(4, 4)}},
+		},
+		Transitions: []rknnt.Transition{
+			{ID: 1, O: rknnt.Pt(0.5, 3), D: rknnt.Pt(2.5, 3.2)}, // near the query below
+			{ID: 2, O: rknnt.Pt(1, 0.2), D: rknnt.Pt(5, 0.1)},   // hugs route 1
+			{ID: 3, O: rknnt.Pt(0.8, 2.8), D: rknnt.Pt(4.1, 3.9)},
+		},
+	}
+	db, err := rknnt.Open(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A planned route across the top of the map.
+	query := []rknnt.Point{rknnt.Pt(0, 3), rknnt.Pt(2, 3), rknnt.Pt(4, 3)}
+
+	res, err := db.RkNNT(query, rknnt.QueryOptions{K: 1, Method: rknnt.DivideConquer})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("∃R1NNT (either endpoint attracted): %v\n", res.Transitions)
+
+	res, err = db.RkNNT(query, rknnt.QueryOptions{K: 1, Semantics: rknnt.ForAll})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("∀R1NNT (both endpoints attracted):  %v\n", res.Transitions)
+
+	// New passenger request arrives: answers update immediately.
+	if err := db.AddTransition(rknnt.Transition{ID: 4, O: rknnt.Pt(1, 3.1), D: rknnt.Pt(3, 2.9)}); err != nil {
+		log.Fatal(err)
+	}
+	res, err = db.RkNNT(query, rknnt.QueryOptions{K: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after a new transition arrives:     %v\n", res.Transitions)
+
+	// kNN of a single point (Definition 4): which routes serve it best?
+	fmt.Printf("2-NN routes of (4, 1): %v\n", db.KNNRoutes(rknnt.Pt(4, 1), 2))
+}

@@ -1,0 +1,85 @@
+package rknnt
+
+import (
+	"io/fs"
+
+	"repro/internal/graph"
+	"repro/internal/gtfs"
+	"repro/internal/monitor"
+)
+
+// GTFSFeed is a GTFS feed reduced to the RkNNT data model: representative
+// route geometries with dense stop IDs and planar (km) coordinates.
+type GTFSFeed = gtfs.Feed
+
+// LoadGTFS reads a GTFS feed (stops.txt, routes.txt, trips.txt,
+// stop_times.txt) from the filesystem — the format the paper's NYC and LA
+// bus networks were extracted from. Use os.DirFS(dir) for a directory on
+// disk. The feed's Routes slot directly into a Dataset:
+//
+//	feed, err := rknnt.LoadGTFS(os.DirFS("gtfs/"))
+//	db, err := rknnt.Open(&rknnt.Dataset{Routes: feed.Routes, Transitions: ts})
+func LoadGTFS(fsys fs.FS) (*GTFSFeed, error) {
+	return gtfs.Load(fsys)
+}
+
+// NetworkFromRoutes builds the bus-network graph of Definition 9 from a
+// route collection: one vertex per distinct stop, Euclidean-weighted
+// edges between consecutive stops. The returned map translates stop IDs
+// to network vertices (for Planner queries).
+func NetworkFromRoutes(routes []Route) (*Network, map[StopID]VertexID, error) {
+	return graph.FromRoutes(routes)
+}
+
+// MonitorEvent describes one incremental change to a standing query's
+// result set.
+type MonitorEvent = monitor.Event
+
+// StandingQueryID identifies a registered continuous query.
+type StandingQueryID = monitor.QueryID
+
+// Monitor maintains continuous RkNNT queries whose results update
+// incrementally as transitions arrive and expire — the paper's dynamic
+// scenario as an API. While a Monitor is attached, route all transition
+// updates through it (not through the DB) so standing results stay
+// consistent; route changes through the DB must be followed by
+// RouteChanged.
+type Monitor struct {
+	m  *monitor.Monitor
+	db *DB
+}
+
+// NewMonitor attaches a continuous-query monitor to the database.
+func (db *DB) NewMonitor() *Monitor {
+	return &Monitor{m: monitor.New(db.idx), db: db}
+}
+
+// Register adds a standing RkNNT query and returns its ID plus the
+// initial result set.
+func (mo *Monitor) Register(query []Point, k int, sem Semantics) (StandingQueryID, []TransitionID, error) {
+	return mo.m.Register(query, k, sem)
+}
+
+// Unregister removes a standing query.
+func (mo *Monitor) Unregister(id StandingQueryID) bool { return mo.m.Unregister(id) }
+
+// Results returns the current result set of a standing query.
+func (mo *Monitor) Results(id StandingQueryID) ([]TransitionID, error) {
+	return mo.m.Results(id)
+}
+
+// Add indexes a new transition and returns the standing-query deltas.
+// Each arriving transition costs two rank checks per standing query,
+// independent of the transition set size.
+func (mo *Monitor) Add(t Transition) ([]MonitorEvent, error) { return mo.m.Add(t) }
+
+// Remove drops a transition and returns the standing-query deltas.
+func (mo *Monitor) Remove(id TransitionID) ([]MonitorEvent, bool) { return mo.m.Remove(id) }
+
+// ExpireBefore drops every timed transition older than cutoff and returns
+// all standing-query deltas.
+func (mo *Monitor) ExpireBefore(cutoff int64) []MonitorEvent { return mo.m.ExpireBefore(cutoff) }
+
+// RouteChanged recomputes every standing query after route additions or
+// removals and returns the deltas.
+func (mo *Monitor) RouteChanged() ([]MonitorEvent, error) { return mo.m.RouteChanged() }

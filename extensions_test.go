@@ -1,0 +1,178 @@
+package rknnt
+
+import (
+	"bytes"
+	"testing"
+	"testing/fstest"
+)
+
+// gtfsFixture is a minimal two-route feed around central coordinates.
+func gtfsFixture() fstest.MapFS {
+	return fstest.MapFS{
+		"stops.txt": &fstest.MapFile{Data: []byte(
+			"stop_id,stop_lat,stop_lon\n" +
+				"A,40.7000,-74.0000\n" +
+				"B,40.7050,-73.9900\n" +
+				"C,40.7100,-73.9800\n" +
+				"D,40.7150,-73.9950\n")},
+		"routes.txt": &fstest.MapFile{Data: []byte("route_id\nM1\nM2\n")},
+		"trips.txt": &fstest.MapFile{Data: []byte(
+			"route_id,trip_id\nM1,t1\nM2,t2\n")},
+		"stop_times.txt": &fstest.MapFile{Data: []byte(
+			"trip_id,stop_id,stop_sequence\n" +
+				"t1,A,1\nt1,B,2\nt1,C,3\n" +
+				"t2,D,1\nt2,B,2\n")},
+	}
+}
+
+// End-to-end: GTFS feed -> DB -> RkNNT query -> planner over the derived
+// network.
+func TestGTFSEndToEnd(t *testing.T) {
+	feed, err := LoadGTFS(gtfsFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Routes) != 2 {
+		t.Fatalf("feed has %d routes", len(feed.Routes))
+	}
+	// Synthesize a few transitions around the stops.
+	ds := &Dataset{Routes: feed.Routes}
+	for i, p := range feed.StopPts {
+		ds.Transitions = append(ds.Transitions, Transition{
+			ID: TransitionID(i + 1),
+			O:  Pt(p.X+0.1, p.Y),
+			D:  Pt(p.X-0.1, p.Y+0.1),
+		})
+	}
+	db, err := Open(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.RkNNT(feed.Routes[0].Pts, QueryOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transitions) == 0 {
+		t.Fatal("route attracts nobody despite transitions at its stops")
+	}
+	// Build the network and plan across the transfer stop B.
+	g, vertexOf, err := NetworkFromRoutes(feed.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := db.NewPlanner(g, 1, DivideConquer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A (on M1) to D (on M2): requires the shared stop.
+	sA := feed.Routes[0].Stops[0]
+	sD := feed.Routes[1].Stops[0]
+	_, sd, ok := g.ShortestPath(vertexOf[sA], vertexOf[sD])
+	if !ok {
+		t.Fatal("no transfer path between the two routes")
+	}
+	plan, ok, err := pl.Plan(vertexOf[sA], vertexOf[sD], sd*1.5, PlanOptions{Objective: Maximize})
+	if err != nil || !ok {
+		t.Fatalf("plan: %v %v", err, ok)
+	}
+	if plan.Count == 0 {
+		t.Fatal("planned route attracts nobody")
+	}
+}
+
+func TestMonitorPublicAPI(t *testing.T) {
+	c := smallCity(t)
+	db, err := Open(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := db.NewMonitor()
+	query := []Point{Pt(2, 2), Pt(4, 2), Pt(6, 2)}
+	id, initial, err := mo.Register(query, 3, Exists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An arriving transition on the query must generate an Added event.
+	events, err := mo.Add(Transition{ID: 77777, O: query[0], D: query[2], Time: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := false
+	for _, e := range events {
+		if e.Transition == 77777 && e.Added {
+			added = true
+		}
+	}
+	if !added {
+		t.Fatal("no Added event")
+	}
+	now, err := mo.Results(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(now) != len(initial)+1 {
+		t.Fatalf("results grew from %d to %d, want +1", len(initial), len(now))
+	}
+	// Expiry removes it again.
+	evs := mo.ExpireBefore(100)
+	removed := false
+	for _, e := range evs {
+		if e.Transition == 77777 && !e.Added {
+			removed = true
+		}
+	}
+	if !removed {
+		t.Fatal("expiry produced no Removed event")
+	}
+	if !mo.Unregister(id) {
+		t.Fatal("unregister failed")
+	}
+}
+
+// The public CSV helpers round-trip through the dataio layer.
+func TestPublicCSVRoundTrip(t *testing.T) {
+	c := smallCity(t)
+	var rbuf, tbuf bytes.Buffer
+	if err := WriteRoutesCSV(&rbuf, c.Dataset.Routes); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTransitionsCSV(&tbuf, c.Dataset.Transitions); err != nil {
+		t.Fatal(err)
+	}
+	routes, err := ReadRoutesCSV(&rbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ReadTransitionsCSV(&tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != len(c.Dataset.Routes) || len(ts) != len(c.Dataset.Transitions) {
+		t.Fatal("round trip lost records")
+	}
+	if _, err := Open(&Dataset{Routes: routes, Transitions: ts}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSnapshotRoundTrip(t *testing.T) {
+	c := smallCity(t)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, c.Dataset, c.Graph); err != nil {
+		t.Fatal(err)
+	}
+	ds, g, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == nil || g.NumVertices() != c.Graph.NumVertices() {
+		t.Fatal("network lost in snapshot")
+	}
+	db, err := Open(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRoutes() != len(c.Dataset.Routes) {
+		t.Fatal("routes lost in snapshot")
+	}
+}

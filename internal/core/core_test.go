@@ -1,0 +1,461 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// buildRandom builds an index over nRoutes random routes (2-7 points each,
+// with stop sharing so crossover sets are non-trivial) and nTrans random
+// transitions, clustered to make pruning meaningful.
+func buildRandom(t testing.TB, rng *rand.Rand, nRoutes, nTrans int) *index.Index {
+	t.Helper()
+	ds := &model.Dataset{}
+	// A pool of shared stops scattered over a 60x60 area.
+	nStops := nRoutes*3 + 10
+	stopPts := make([]geo.Point, nStops)
+	for i := range stopPts {
+		stopPts[i] = geo.Pt(rng.Float64()*60, rng.Float64()*60)
+	}
+	for r := 0; r < nRoutes; r++ {
+		n := 2 + rng.Intn(6)
+		route := model.Route{ID: int32(r + 1)}
+		start := rng.Intn(nStops)
+		for i := 0; i < n; i++ {
+			s := (start + i*(1+rng.Intn(3))) % nStops
+			route.Stops = append(route.Stops, int32(s))
+			route.Pts = append(route.Pts, stopPts[s])
+		}
+		ds.Routes = append(ds.Routes, route)
+	}
+	for i := 0; i < nTrans; i++ {
+		c := stopPts[rng.Intn(nStops)]
+		ds.Transitions = append(ds.Transitions, model.Transition{
+			ID: int32(i + 1),
+			O:  geo.Pt(c.X+rng.NormFloat64()*3, c.Y+rng.NormFloat64()*3),
+			D:  geo.Pt(c.X+rng.NormFloat64()*8, c.Y+rng.NormFloat64()*8),
+		})
+	}
+	x, err := index.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func randQuery(rng *rand.Rand, n int) []geo.Point {
+	// Bounded-turn walk like the paper's query generator.
+	q := make([]geo.Point, 0, n)
+	p := geo.Pt(rng.Float64()*60, rng.Float64()*60)
+	q = append(q, p)
+	dir := rng.Float64() * 2 * math.Pi
+	for len(q) < n {
+		dir += (rng.Float64() - 0.5) * math.Pi / 2 // <= 90 degree turn
+		step := 2 + rng.Float64()*3
+		p = geo.Pt(p.X+step*math.Cos(dir), p.Y+step*math.Sin(dir))
+		q = append(q, p)
+	}
+	return q
+}
+
+func idsEqual(a, b []model.TransitionID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMethodsAgree is the central correctness property: Filter-Refine,
+// Voronoi, Divide-Conquer and BruteForce must return identical result sets
+// for random workloads, under both semantics, across k values.
+func TestMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		x := buildRandom(t, rng, 15+rng.Intn(30), 120)
+		for _, k := range []int{1, 2, 5, 10} {
+			for _, sem := range []Semantics{Exists, ForAll} {
+				query := randQuery(rng, 1+rng.Intn(6))
+				want, _, err := RkNNT(x, query, Options{K: k, Method: BruteForce, Semantics: sem})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range []Method{FilterRefine, Voronoi, DivideConquer} {
+					got, _, err := RkNNT(x, query, Options{K: k, Method: m, Semantics: sem})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !idsEqual(got, want) {
+						t.Fatalf("trial %d k=%d sem=%v method=%v: got %v, want %v (query %v)",
+							trial, k, sem, m, got, want, query)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Lemma 1: ∀RkNNT(Q) ⊆ ∃RkNNT(Q).
+func TestForAllSubsetOfExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		x := buildRandom(t, rng, 25, 150)
+		query := randQuery(rng, 3)
+		k := 1 + rng.Intn(8)
+		ex, _, err := RkNNT(x, query, Options{K: k, Method: Voronoi, Semantics: Exists})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, _, err := RkNNT(x, query, Options{K: k, Method: Voronoi, Semantics: ForAll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exSet := map[model.TransitionID]bool{}
+		for _, id := range ex {
+			exSet[id] = true
+		}
+		for _, id := range all {
+			if !exSet[id] {
+				t.Fatalf("trial %d: ∀ result %d not in ∃ result", trial, id)
+			}
+		}
+	}
+}
+
+// Lemma 3: RkNNT(Q) = union of RkNNT(q_i) over single-point queries.
+func TestDivideConquerUnionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 8; trial++ {
+		x := buildRandom(t, rng, 20, 100)
+		query := randQuery(rng, 2+rng.Intn(4))
+		k := 1 + rng.Intn(5)
+		whole, _, err := RkNNT(x, query, Options{K: k, Method: BruteForce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := map[model.TransitionID]bool{}
+		for _, q := range query {
+			part, _, err := RkNNT(x, []geo.Point{q}, Options{K: k, Method: BruteForce})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range part {
+				union[id] = true
+			}
+		}
+		if len(union) != len(whole) {
+			t.Fatalf("trial %d: union size %d, whole size %d", trial, len(union), len(whole))
+		}
+		for _, id := range whole {
+			if !union[id] {
+				t.Fatalf("trial %d: %d in whole but not union", trial, id)
+			}
+		}
+	}
+}
+
+// Growing k can only grow the result set.
+func TestMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	x := buildRandom(t, rng, 30, 200)
+	query := randQuery(rng, 4)
+	var prev []model.TransitionID
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		got, _, err := RkNNT(x, query, Options{K: k, Method: Voronoi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[model.TransitionID]bool{}
+		for _, id := range got {
+			set[id] = true
+		}
+		for _, id := range prev {
+			if !set[id] {
+				t.Fatalf("k=%d lost result %d present at smaller k", k, id)
+			}
+		}
+		prev = got
+	}
+}
+
+// With k > |DR| every transition is a result: at most |DR| routes can be
+// strictly closer than the query, so rank < k always holds. (k = |DR| is
+// not enough: the query route itself is not part of DR, so all |DR| routes
+// can out-rank it.)
+func TestKLargerThanRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	x := buildRandom(t, rng, 10, 50)
+	query := randQuery(rng, 3)
+	got, _, err := RkNNT(x, query, Options{K: 11, Method: Voronoi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("k=|DR| returned %d of 50 transitions", len(got))
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	x := buildRandom(t, rng, 5, 5)
+	if _, _, err := RkNNT(x, randQuery(rng, 3), Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, _, err := RkNNT(x, nil, Options{K: 1}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, _, err := RkNNT(x, randQuery(rng, 2), Options{K: 1, TimeFrom: 10, TimeTo: 5}); err == nil {
+		t.Error("inverted time window accepted")
+	}
+	if _, _, err := RkNNT(x, randQuery(rng, 2), Options{K: 1, Method: Method(99)}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestEmptyTransitionSet(t *testing.T) {
+	ds := &model.Dataset{
+		Routes: []model.Route{
+			{ID: 1, Stops: []int32{0, 1}, Pts: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}},
+		},
+	}
+	x, err := index.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{FilterRefine, Voronoi, DivideConquer, BruteForce} {
+		got, _, err := RkNNT(x, []geo.Point{geo.Pt(0, 1)}, Options{K: 1, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("method %v returned %v on empty transition set", m, got)
+		}
+	}
+}
+
+// A transition right on top of the query with all routes far away is
+// always a result; one on top of many routes with the query far away
+// never is (k=1).
+func TestObviousCases(t *testing.T) {
+	ds := &model.Dataset{
+		Routes: []model.Route{
+			{ID: 1, Stops: []int32{0, 1}, Pts: []geo.Point{geo.Pt(100, 100), geo.Pt(101, 100)}},
+			{ID: 2, Stops: []int32{2, 3}, Pts: []geo.Point{geo.Pt(100, 102), geo.Pt(101, 102)}},
+		},
+		Transitions: []model.Transition{
+			{ID: 1, O: geo.Pt(0.1, 0), D: geo.Pt(0.9, 0)},     // near query
+			{ID: 2, O: geo.Pt(100, 101), D: geo.Pt(101, 101)}, // near routes
+		},
+	}
+	x, err := index.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}
+	for _, m := range []Method{FilterRefine, Voronoi, DivideConquer, BruteForce} {
+		got, _, err := RkNNT(x, query, Options{K: 1, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(got, []model.TransitionID{1}) {
+			t.Errorf("method %v: got %v, want [1]", m, got)
+		}
+	}
+}
+
+// Figure 3 of the paper: transition T4 between the query and away from
+// routes takes Q as nearest under ∀ semantics.
+func TestPaperFigure3Style(t *testing.T) {
+	// Query: a diagonal 5-point route. Routes: two parallel lines far
+	// to either side. T4: both endpoints hug the query; T5: endpoints hug
+	// route 1; T6: one endpoint near query, one near route 2.
+	query := []geo.Point{geo.Pt(0, 0), geo.Pt(2, 1), geo.Pt(4, 2), geo.Pt(6, 3), geo.Pt(8, 4)}
+	ds := &model.Dataset{
+		Routes: []model.Route{
+			{ID: 1, Stops: []int32{0, 1, 2}, Pts: []geo.Point{geo.Pt(0, 20), geo.Pt(4, 20), geo.Pt(8, 20)}},
+			{ID: 2, Stops: []int32{3, 4, 5}, Pts: []geo.Point{geo.Pt(0, -20), geo.Pt(4, -20), geo.Pt(8, -20)}},
+		},
+		Transitions: []model.Transition{
+			{ID: 4, O: geo.Pt(2, 1.5), D: geo.Pt(6, 3.5)},
+			{ID: 5, O: geo.Pt(0, 19), D: geo.Pt(8, 19)},
+			{ID: 6, O: geo.Pt(4, 2.5), D: geo.Pt(4, -19)},
+		},
+	}
+	x, err := index.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _, err := RkNNT(x, query, Options{K: 1, Method: Voronoi, Semantics: ForAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(all, []model.TransitionID{4}) {
+		t.Errorf("∀RkNNT = %v, want [4]", all)
+	}
+	ex, _, err := RkNNT(x, query, Options{K: 1, Method: Voronoi, Semantics: Exists})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(ex, []model.TransitionID{4, 6}) {
+		t.Errorf("∃RkNNT = %v, want [4 6]", ex)
+	}
+}
+
+func TestTemporalWindow(t *testing.T) {
+	ds := &model.Dataset{
+		Routes: []model.Route{
+			{ID: 1, Stops: []int32{0, 1}, Pts: []geo.Point{geo.Pt(50, 50), geo.Pt(51, 50)}},
+		},
+		Transitions: []model.Transition{
+			{ID: 1, O: geo.Pt(0, 1), D: geo.Pt(1, 1), Time: 100},
+			{ID: 2, O: geo.Pt(0, 2), D: geo.Pt(1, 2), Time: 200},
+			{ID: 3, O: geo.Pt(0, 3), D: geo.Pt(1, 3)}, // untimed
+		},
+	}
+	x, err := index.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}
+	got, _, err := RkNNT(x, query, Options{K: 1, Method: Voronoi, TimeFrom: 150, TimeTo: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(got, []model.TransitionID{2}) {
+		t.Errorf("timed query = %v, want [2]", got)
+	}
+	got, _, err = RkNNT(x, query, Options{K: 1, Method: Voronoi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("untimed query = %v, want all three", got)
+	}
+}
+
+// Dynamic updates: results must track transition insertion and removal.
+func TestDynamicUpdatesAffectResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	x := buildRandom(t, rng, 15, 60)
+	query := randQuery(rng, 3)
+	opts := Options{K: 3, Method: Voronoi}
+	before, _, err := RkNNT(x, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a transition hugging the query: must appear.
+	newID := model.TransitionID(9999)
+	if err := x.AddTransition(model.Transition{ID: newID, O: query[0], D: query[len(query)-1]}); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := RkNNT(x, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range after {
+		if id == newID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted query-hugging transition not in result")
+	}
+	// Remove it again: result returns to the original.
+	x.RemoveTransition(newID)
+	again, _, err := RkNNT(x, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(again, before) {
+		t.Fatalf("results after remove = %v, want %v", again, before)
+	}
+	// Cross-check with brute force after updates.
+	bf, _, err := RkNNT(x, query, Options{K: 3, Method: BruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(again, bf) {
+		t.Fatalf("post-update Voronoi %v != brute force %v", again, bf)
+	}
+}
+
+// KNNRoutes and the RkNNT definition must be mutually consistent: t is an
+// RkNNT endpoint result iff the query, inserted as a phantom route, would
+// rank among the k nearest routes of t.
+func TestKNNConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	x := buildRandom(t, rng, 12, 40)
+	query := randQuery(rng, 3)
+	k := 3
+	got, _, err := RkNNT(x, query, Options{K: k, Method: BruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultSet := map[model.TransitionID]bool{}
+	for _, id := range got {
+		resultSet[id] = true
+	}
+	x.Transitions(func(tr *model.Transition) bool {
+		inResult := false
+		for _, pt := range []geo.Point{tr.O, tr.D} {
+			dq := geo.PointRouteDist2(pt, query)
+			// Count routes strictly closer.
+			closer := 0
+			for _, rid := range KNNRoutes(x, pt, x.NumRoutes()) {
+				r := x.Route(rid)
+				if geo.PointRouteDist2(pt, r.Pts) < dq {
+					closer++
+				}
+			}
+			if closer < k {
+				inResult = true
+			}
+		}
+		if inResult != resultSet[tr.ID] {
+			t.Errorf("transition %d: kNN check %v, RkNNT %v", tr.ID, inResult, resultSet[tr.ID])
+		}
+		return true
+	})
+}
+
+func TestMethodAndSemanticsStrings(t *testing.T) {
+	if FilterRefine.String() != "Filter-Refine" || Voronoi.String() != "Voronoi" ||
+		DivideConquer.String() != "Divide-Conquer" || BruteForce.String() != "BruteForce" {
+		t.Error("method names do not match the paper's figure legends")
+	}
+	if Exists.String() != "Exists" || ForAll.String() != "ForAll" {
+		t.Error("semantics names wrong")
+	}
+	if Method(77).String() == "" {
+		t.Error("unknown method String empty")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	x := buildRandom(t, rng, 30, 300)
+	query := randQuery(rng, 5)
+	_, stats, err := RkNNT(x, query, Options{K: 5, Method: Voronoi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total() <= 0 {
+		t.Error("Total() not positive")
+	}
+	if stats.FilterPoints == 0 {
+		t.Error("no filter points recorded")
+	}
+	if stats.Candidates < stats.Results {
+		t.Errorf("candidates %d < results %d", stats.Candidates, stats.Results)
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/rtree"
+)
+
+// filterPoint is one entry of S_filter.P: a route point usable for
+// half-space pruning, with its crossover route set C(r) (Definition 7).
+type filterPoint struct {
+	pt     geo.Point
+	stop   model.StopID
+	routes []model.RouteID // C(r), sorted
+}
+
+// filterSet is S_filter of Algorithm 2: the filtering points ordered by
+// decreasing crossover degree (S_filter.P) and, per route, the points that
+// could not be pruned (S_filter.R) for Voronoi filtering.
+type filterSet struct {
+	points  []filterPoint                 // sorted by len(routes) descending
+	routes  map[model.RouteID][]geo.Point // S_filter.R
+	seen    map[model.StopID]struct{}     // avoid duplicate stops in points
+	order   []model.RouteID               // insertion order of routes
+	scratch []model.RouteID               // reused by isFiltered
+	vbuf    geo.VoronoiScratch            // reused clip buffers
+}
+
+func newFilterSet() *filterSet {
+	return &filterSet{
+		routes: make(map[model.RouteID][]geo.Point),
+		seen:   make(map[model.StopID]struct{}),
+	}
+}
+
+// add inserts a route point with its crossover set, keeping points sorted
+// by decreasing |C(r)| so that high-degree points are tried first
+// (Section 4.2.1).
+func (fs *filterSet) add(pt geo.Point, stop model.StopID, crossover []model.RouteID) {
+	for _, r := range crossover {
+		if _, ok := fs.routes[r]; !ok {
+			fs.order = append(fs.order, r)
+		}
+		fs.routes[r] = append(fs.routes[r], pt)
+	}
+	if _, dup := fs.seen[stop]; dup {
+		return
+	}
+	fs.seen[stop] = struct{}{}
+	fp := filterPoint{pt: pt, stop: stop, routes: crossover}
+	i := sort.Search(len(fs.points), func(i int) bool {
+		return len(fs.points[i].routes) <= len(crossover)
+	})
+	fs.points = append(fs.points, filterPoint{})
+	copy(fs.points[i+1:], fs.points[i:])
+	fs.points[i] = fp
+}
+
+// pointScanBudget caps the number of filtering points examined when
+// testing a single leaf point. Point-level filtering costs more per entry
+// than the exact verification step (which terminates early via the NList),
+// so an exhaustive scan is counter-productive: a point the first
+// pointScanBudget filter points cannot prune is simply passed downstream
+// as a candidate. Node tests always scan exhaustively — pruning a node
+// saves an entire subtree.
+const pointScanBudget = 96
+
+// voronoiRouteBudget bounds the number of filtering routes tried in the
+// Voronoi step per node, as a multiple of k. Routes enter the filter set
+// in ascending distance from the query, so the earliest routes are the
+// most likely pruners.
+func voronoiRouteBudget(k int) int {
+	if k < 4 {
+		return 8
+	}
+	return 2 * k
+}
+
+// isFiltered implements Algorithm 3 (IsFiltered): it reports whether the
+// rectangle lies inside the filtering spaces of at least k distinct routes.
+// Step 1 uses the individual filtering points (half-space pruning with
+// crossover credit); step 2, when useVoronoi is set, uses the per-route
+// Voronoi filtering space (Definition 8) for routes not yet counted.
+// isNode distinguishes real R-tree nodes from degenerate single-point
+// rectangles; the scan budgets above differ between the two.
+//
+// Skipping checks (budgets) only weakens pruning, never soundness: every
+// counted route is still a proof of >= 1 strictly closer route, and
+// unpruned entries are verified exactly downstream.
+func (fs *filterSet) isFiltered(query []geo.Point, rect geo.Rect, k int, useVoronoi, isNode bool) bool {
+	counted := fs.scratch[:0]
+	budget := pointScanBudget
+	if isNode {
+		budget = len(fs.points)
+		if useVoronoi {
+			// With route-level filtering available, an exhaustive point
+			// scan is redundant: H_{R:Q} subsumes H_{r:Q} for every r in
+			// R, so the route tests of step 2 cover whatever a deep point
+			// scan would find. Keeping only the high-crossover prefix of
+			// the point list is what makes the Voronoi method cheaper
+			// than Filter-Refine per node, which is the paper's point.
+			if b := 6 * k; b < budget {
+				budget = b
+			}
+		}
+	}
+	// Step 1: filtering points in descending crossover order.
+	for i := range fs.points {
+		if len(counted) >= k {
+			fs.scratch = counted
+			return true
+		}
+		if i >= budget {
+			break
+		}
+		p := &fs.points[i]
+		if geo.RectInFilterSpace(rect, p.pt, query) {
+			for _, r := range p.routes {
+				counted = addRoute(counted, r)
+			}
+		}
+	}
+	if len(counted) >= k {
+		fs.scratch = counted
+		return true
+	}
+	if !useVoronoi || !isNode {
+		fs.scratch = counted
+		return false
+	}
+	// Gate: when point filtering found fewer than k/2 closer routes, the
+	// rectangle is close to the query relative to the filter set and the
+	// route-level spaces will not reach k either; skipping them avoids
+	// paying the clipping cost exactly where it cannot pay off. (A skipped
+	// check only weakens pruning, never correctness.)
+	if 2*len(counted) < k {
+		fs.scratch = counted
+		return false
+	}
+	// Step 2: whole-route Voronoi filtering for the remaining routes.
+	tried := 0
+	maxTries := voronoiRouteBudget(k)
+	for _, r := range fs.order {
+		if len(counted) >= k {
+			break
+		}
+		if tried >= maxTries {
+			break
+		}
+		if containsRoute(counted, r) {
+			continue
+		}
+		pts := fs.routes[r]
+		if len(pts) < 2 {
+			continue // identical to the single-point test of step 1
+		}
+		tried++
+		if geo.RectInVoronoiFilterSpaceBuf(rect, pts, query, &fs.vbuf) {
+			counted = addRoute(counted, r)
+		}
+	}
+	fs.scratch = counted
+	return len(counted) >= k
+}
+
+// addRoute appends id if absent; k is at most a few dozen, so the linear
+// scan beats a map allocation in this hot path.
+func addRoute(s []model.RouteID, id model.RouteID) []model.RouteID {
+	if containsRoute(s, id) {
+		return s
+	}
+	return append(s, id)
+}
+
+func containsRoute(s []model.RouteID, id model.RouteID) bool {
+	for _, r := range s {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// minHeap orders R-tree nodes and entries by MinDist to the query route.
+type heapItem struct {
+	node  *rtree.Node // nil for materialised points
+	entry rtree.Entry
+	dist  float64
+}
+
+type minHeap []heapItem
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func queryMinDist2(query []geo.Point, r geo.Rect) float64 {
+	best := r.MinDist2(query[0])
+	for _, q := range query[1:] {
+		if d := r.MinDist2(q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// filterRoute implements Algorithm 2 (FilterRoute): a best-first traversal
+// of the RR-tree that assembles the filtering set S_filter and the pruned
+// node set S_refine. Entries are visited in ascending MinDist order so
+// near, high-value filtering points are found early; nodes (and points)
+// already inside >= k filtering spaces are pruned.
+func filterRoute(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts Options, stats *Stats) (*filterSet, []*rtree.Node) {
+	fs := newFilterSet()
+	var refine []*rtree.Node
+	root := x.RouteTree().Root()
+
+	h := &minHeap{{node: root, dist: queryMinDist2(query, root.Rect())}}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		if it.node != nil {
+			n := it.node
+			if fs.isFiltered(query, n.Rect(), k, useVoronoi, true) {
+				refine = append(refine, n)
+				continue
+			}
+			if n.IsLeaf() {
+				for _, e := range n.Entries() {
+					heap.Push(h, heapItem{entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
+				}
+			} else {
+				for _, c := range n.Children() {
+					heap.Push(h, heapItem{node: c, dist: queryMinDist2(query, c.Rect())})
+				}
+			}
+			continue
+		}
+		// Route point: keep it only if it cannot itself be filtered.
+		e := it.entry
+		if fs.isFiltered(query, geo.RectOf(e.Pt), k, useVoronoi, false) {
+			continue
+		}
+		if opts.NoCrossover {
+			fs.add(e.Pt, e.Aux, []model.RouteID{e.ID})
+		} else {
+			fs.add(e.Pt, e.Aux, x.Crossover(e.Aux))
+		}
+	}
+	stats.FilterPoints = len(fs.points)
+	stats.FilterRoutes = len(fs.routes)
+	stats.RefineNodes = len(refine)
+	return fs, refine
+}
+
+// pruneTransition implements Algorithm 4 (PruneTransition): a traversal of
+// the TR-tree against the fixed filtering set. Endpoints that cannot be
+// pruned become candidates. Unlike FilterRoute, the visit order does not
+// affect the outcome (the filtering set is fixed and candidates are
+// independent), so a plain stack replaces the paper's distance heap — same
+// results, no heap overhead.
+func pruneTransition(x *index.Index, query []geo.Point, fs *filterSet, k int, useVoronoi bool, stats *Stats) []rtree.Entry {
+	var cands []rtree.Entry
+	tree := x.TransitionTree()
+	if tree.Len() == 0 {
+		return nil
+	}
+	stack := []*rtree.Node{tree.Root()}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fs.isFiltered(query, n.Rect(), k, useVoronoi, true) {
+			continue
+		}
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				if fs.isFiltered(query, geo.RectOf(e.Pt), k, useVoronoi, false) {
+					continue
+				}
+				cands = append(cands, e)
+			}
+		} else {
+			stack = append(stack, n.Children()...)
+		}
+	}
+	stats.Candidates = len(cands)
+	return cands
+}

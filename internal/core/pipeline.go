@@ -1,0 +1,146 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/rtree"
+)
+
+// filterRefine runs the three-step framework of Algorithm 1:
+// FilterRoute -> PruneTransition -> RefineCandidates.
+func filterRefine(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts Options, stats *Stats) map[model.TransitionID]endpointMask {
+	start := time.Now()
+	fs, _ := filterRoute(x, query, k, useVoronoi, opts, stats)
+	cands := pruneTransition(x, query, fs, k, useVoronoi, stats)
+	stats.Filter += time.Since(start)
+
+	start = time.Now()
+	masks := refineCandidates(x, query, cands, k, opts)
+	stats.Verify += time.Since(start)
+	return masks
+}
+
+// divideConquer implements Section 5.2: by Lemma 3 the RkNNT of a
+// multi-point query is the union of the RkNNT of its points, and this
+// holds endpoint-wise. Each sub-query runs the Voronoi-enhanced filtering
+// with a single query point — where the filtering space of Definition 6 is
+// maximal, so pruning is most effective — and the surviving candidate
+// endpoints are merged before a single verification pass against the full
+// query, as the paper describes ("the transitions containing these points
+// are merged to get the final transition result").
+//
+// Completeness: if endpoint t is a result, then rank(t, Q) < k; with
+// qi* = argmin_i dist(t, qi) we have dist(t, Q) = dist(t, qi*), so
+// rank(t, qi*) = rank(t, Q) < k and t cannot be pruned in sub-query qi*
+// (pruning requires >= k routes strictly closer than dist(t, qi*)). Hence
+// every result endpoint survives into the merged candidate set, and the
+// exact verification against the full query keeps precisely the results.
+func divideConquer(x *index.Index, query []geo.Point, k int, opts Options, stats *Stats) map[model.TransitionID]endpointMask {
+	start := time.Now()
+	type endpointKey struct {
+		id   model.TransitionID
+		role int32
+	}
+	seen := make(map[endpointKey]struct{})
+	var merged []rtree.Entry
+	sub := make([]geo.Point, 1)
+	for _, q := range query {
+		sub[0] = q
+		subStats := &Stats{}
+		fs, _ := filterRoute(x, sub, k, true, opts, subStats)
+		cands := pruneTransition(x, sub, fs, k, true, subStats)
+		stats.FilterPoints += subStats.FilterPoints
+		stats.FilterRoutes += subStats.FilterRoutes
+		stats.RefineNodes += subStats.RefineNodes
+		for _, e := range cands {
+			key := endpointKey{e.ID, e.Aux}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			merged = append(merged, e)
+		}
+	}
+	stats.Candidates = len(merged)
+	stats.Filter += time.Since(start)
+
+	start = time.Now()
+	masks := refineCandidates(x, query, merged, k, opts)
+	stats.Verify += time.Since(start)
+	return masks
+}
+
+// bruteForceMasks evaluates the definition directly: for every transition
+// endpoint, count the routes strictly closer than the query by linear
+// scan. Exact by construction; O(|DT| * total route points).
+func bruteForceMasks(x *index.Index, query []geo.Point, k int, stats *Stats) map[model.TransitionID]endpointMask {
+	start := time.Now()
+	masks := make(map[model.TransitionID]endpointMask)
+	x.Transitions(func(t *model.Transition) bool {
+		if bruteForceEndpoint(x, query, t.O, k) {
+			masks[t.ID] |= maskOrigin
+		}
+		if bruteForceEndpoint(x, query, t.D, k) {
+			masks[t.ID] |= maskDest
+		}
+		return true
+	})
+	stats.Verify += time.Since(start)
+	return masks
+}
+
+// bruteForceEndpoint reports whether fewer than k routes are strictly
+// closer to t than the query route, by scanning every route.
+func bruteForceEndpoint(x *index.Index, query []geo.Point, t geo.Point, k int) bool {
+	dq2 := geo.PointRouteDist2(t, query)
+	count := 0
+	ok := true
+	x.Routes(func(r *model.Route) bool {
+		if geo.PointRouteDist2(t, r.Pts) < dq2 {
+			count++
+			if count >= k {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// KNNRoutes returns the IDs of the k routes nearest to the transition
+// point t under the point-route distance (Definition 4), in ascending
+// distance order. It is the primitive the brute-force RkNNT of the
+// paper's introduction builds on, exposed for the examples and tests.
+func KNNRoutes(x *index.Index, t geo.Point, k int) []model.RouteID {
+	type rd struct {
+		id model.RouteID
+		d  float64
+	}
+	var all []rd
+	x.Routes(func(r *model.Route) bool {
+		all = append(all, rd{r.ID, geo.PointRouteDist2(t, r.Pts)})
+		return true
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	// Partial selection sort is fine for the small k used in practice.
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d < all[min].d || (all[j].d == all[min].d && all[j].id < all[min].id) {
+				min = j
+			}
+		}
+		all[i], all[min] = all[min], all[i]
+	}
+	out := make([]model.RouteID, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// workloadCase is a quick.Generator producing a small indexed dataset plus
+// a query and k, exercising degenerate geometries the table-driven tests
+// may miss: coincident points, collinear routes, shared stops, queries on
+// top of stops.
+type workloadCase struct {
+	x     *index.Index
+	query []geo.Point
+	k     int
+}
+
+func (workloadCase) Generate(r *rand.Rand, size int) reflect.Value {
+	// Coarse integer-ish coordinates force ties and coincidences.
+	coord := func() geo.Point {
+		p := geo.Pt(float64(r.Intn(20)), float64(r.Intn(20)))
+		if r.Intn(3) == 0 { // jitter some points off-grid
+			p = p.Add(geo.Pt(r.Float64(), r.Float64()))
+		}
+		return p
+	}
+	nStops := 10 + r.Intn(20)
+	stops := make([]geo.Point, nStops)
+	for i := range stops {
+		stops[i] = coord()
+	}
+	ds := &model.Dataset{}
+	nRoutes := 3 + r.Intn(10)
+	for id := 1; id <= nRoutes; id++ {
+		n := 2 + r.Intn(5)
+		route := model.Route{ID: model.RouteID(id)}
+		for i := 0; i < n; i++ {
+			s := r.Intn(nStops)
+			route.Stops = append(route.Stops, model.StopID(s))
+			route.Pts = append(route.Pts, stops[s])
+		}
+		ds.Routes = append(ds.Routes, route)
+	}
+	nTrans := 10 + r.Intn(60)
+	for i := 1; i <= nTrans; i++ {
+		ds.Transitions = append(ds.Transitions, model.Transition{
+			ID: model.TransitionID(i), O: coord(), D: coord(),
+		})
+	}
+	x, err := index.Build(ds)
+	if err != nil {
+		panic(err)
+	}
+	nq := 1 + r.Intn(4)
+	query := make([]geo.Point, nq)
+	for i := range query {
+		if r.Intn(2) == 0 { // query points often coincide with stops
+			query[i] = stops[r.Intn(nStops)]
+		} else {
+			query[i] = coord()
+		}
+	}
+	return reflect.ValueOf(workloadCase{x: x, query: query, k: 1 + r.Intn(6)})
+}
+
+// TestQuickMethodsAgree stresses cross-method equality on adversarial
+// degenerate geometry (ties everywhere).
+func TestQuickMethodsAgree(t *testing.T) {
+	check := func(w workloadCase) bool {
+		want, _, err := RkNNT(w.x, w.query, Options{K: w.k, Method: BruteForce})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, m := range []Method{FilterRefine, Voronoi, DivideConquer} {
+			got, _, err := RkNNT(w.x, w.query, Options{K: w.k, Method: m})
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if !idsEqual(got, want) {
+				t.Logf("method %v: got %v, want %v (k=%d, query=%v)", m, got, want, w.k, w.query)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAblationsExact verifies the ablation switches change cost, not
+// answers.
+func TestQuickAblationsExact(t *testing.T) {
+	check := func(w workloadCase) bool {
+		want, _, err := RkNNT(w.x, w.query, Options{K: w.k, Method: DivideConquer})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, opts := range []Options{
+			{K: w.k, Method: DivideConquer, NoCrossover: true},
+			{K: w.k, Method: DivideConquer, NoNList: true},
+			{K: w.k, Method: Voronoi, NoCrossover: true, NoNList: true},
+		} {
+			got, _, err := RkNNT(w.x, w.query, opts)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if !idsEqual(got, want) {
+				t.Logf("ablation %+v changed answers", opts)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSemanticsLattice: under any workload, ∀ results ⊆ ∃ results,
+// and both are monotone in k.
+func TestQuickSemanticsLattice(t *testing.T) {
+	check := func(w workloadCase) bool {
+		ex, _, err := RkNNT(w.x, w.query, Options{K: w.k, Method: Voronoi, Semantics: Exists})
+		if err != nil {
+			return false
+		}
+		fa, _, err := RkNNT(w.x, w.query, Options{K: w.k, Method: Voronoi, Semantics: ForAll})
+		if err != nil {
+			return false
+		}
+		exSet := map[model.TransitionID]bool{}
+		for _, id := range ex {
+			exSet[id] = true
+		}
+		for _, id := range fa {
+			if !exSet[id] {
+				t.Logf("∀ result %d missing from ∃", id)
+				return false
+			}
+		}
+		ex2, _, err := RkNNT(w.x, w.query, Options{K: w.k + 1, Method: Voronoi})
+		if err != nil {
+			return false
+		}
+		if len(ex2) < len(ex) {
+			t.Logf("result set shrank as k grew: %d -> %d", len(ex), len(ex2))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

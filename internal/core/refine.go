@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/rtree"
+)
+
+// refineCandidates implements the verification step (Section 4.2.3): each
+// surviving endpoint is checked exactly against the RR-tree. An endpoint t
+// with query distance dq = dist(t, Q) is a result iff fewer than k distinct
+// routes are strictly closer to t than dq.
+//
+// The traversal descends only nodes with MinDist(t, node) < dq. Nodes that
+// are entirely closer (MaxDist(t, node) < dq) contribute their whole NList
+// wholesale — this is where the NList of Section 4.1.2 pays off — and the
+// scan aborts as soon as k distinct closer routes are known. The outcome is
+// exact, so unlike the filtering phase there is no approximation to verify
+// downstream.
+func refineCandidates(x *index.Index, query []geo.Point, cands []rtree.Entry, k int, opts Options) map[model.TransitionID]endpointMask {
+	masks := make(map[model.TransitionID]endpointMask)
+	tree := x.RouteTree()
+	for _, cand := range cands {
+		if endpointIsResult(x, tree, query, cand.Pt, k, !opts.NoNList) {
+			masks[cand.ID] |= 1 << uint(cand.Aux)
+		}
+	}
+	return masks
+}
+
+// endpointIsResult reports whether fewer than k distinct routes are
+// strictly closer to t than the query route.
+func endpointIsResult(x *index.Index, tree *rtree.Tree, query []geo.Point, t geo.Point, k int, useNList bool) bool {
+	if tree.Len() == 0 {
+		return true
+	}
+	dq2 := geo.PointRouteDist2(t, query)
+	closer := make(map[model.RouteID]struct{}, k)
+	stack := []*rtree.Node{tree.Root()}
+	for len(stack) > 0 && len(closer) < k {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.Rect().MinDist2(t) >= dq2 {
+			continue
+		}
+		if md := n.Rect().MaxDist(t); useNList && md*md < dq2 {
+			// Every point under n is strictly closer than the query:
+			// credit all routes below without descending.
+			for _, id := range x.NList(n) {
+				closer[id] = struct{}{}
+				if len(closer) >= k {
+					return false
+				}
+			}
+			continue
+		}
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				if e.Pt.Dist2(t) < dq2 {
+					closer[e.ID] = struct{}{}
+					if len(closer) >= k {
+						return false
+					}
+				}
+			}
+		} else {
+			for _, c := range n.Children() {
+				stack = append(stack, c)
+			}
+		}
+	}
+	return len(closer) < k
+}
+
+// TakesQueryAsKNN reports whether the point t takes the query route as one
+// of its k nearest routes: fewer than k distinct routes are strictly
+// closer to t than the query (the rank semantics of this package). It is
+// the single-endpoint primitive behind incremental result maintenance:
+// checking one arriving transition costs two such calls, independent of
+// the transition set size.
+func TakesQueryAsKNN(x *index.Index, query []geo.Point, t geo.Point, k int) bool {
+	return endpointIsResult(x, x.RouteTree(), query, t, k, true)
+}

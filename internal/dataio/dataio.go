@@ -1,0 +1,208 @@
+// Package dataio reads and writes RkNNT datasets. Two formats are
+// supported:
+//
+//   - CSV: the routes.csv / transitions.csv / edges.csv layout emitted by
+//     cmd/rknnt-gen, for interchange with external tooling;
+//   - gob: a single binary snapshot of a whole dataset plus its network,
+//     for fast reload of large generated workloads.
+package dataio
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// WriteRoutesCSV writes routes as (route_id, seq, stop_id, x_km, y_km).
+func WriteRoutesCSV(w io.Writer, routes []model.Route) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"route_id", "seq", "stop_id", "x_km", "y_km"}); err != nil {
+		return err
+	}
+	for _, r := range routes {
+		for i, p := range r.Pts {
+			rec := []string{
+				strconv.Itoa(int(r.ID)), strconv.Itoa(i), strconv.Itoa(int(r.Stops[i])),
+				formatCoord(p.X), formatCoord(p.Y),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRoutesCSV parses the WriteRoutesCSV format. Rows for one route must
+// be contiguous and ordered by seq.
+func ReadRoutesCSV(r io.Reader) ([]model.Route, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: routes csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataio: routes csv: empty file")
+	}
+	var routes []model.Route
+	var cur *model.Route
+	for ln, rec := range records[1:] {
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("dataio: routes csv line %d: want 5 fields, got %d", ln+2, len(rec))
+		}
+		id, err1 := strconv.Atoi(rec[0])
+		seq, err2 := strconv.Atoi(rec[1])
+		stop, err3 := strconv.Atoi(rec[2])
+		x, err4 := strconv.ParseFloat(rec[3], 64)
+		y, err5 := strconv.ParseFloat(rec[4], 64)
+		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+			return nil, fmt.Errorf("dataio: routes csv line %d: %w", ln+2, err)
+		}
+		if cur == nil || cur.ID != model.RouteID(id) {
+			routes = append(routes, model.Route{ID: model.RouteID(id)})
+			cur = &routes[len(routes)-1]
+		}
+		if seq != len(cur.Pts) {
+			return nil, fmt.Errorf("dataio: routes csv line %d: route %d out-of-order seq %d", ln+2, id, seq)
+		}
+		cur.Stops = append(cur.Stops, model.StopID(stop))
+		cur.Pts = append(cur.Pts, geo.Pt(x, y))
+	}
+	return routes, nil
+}
+
+// WriteTransitionsCSV writes transitions as
+// (transition_id, ox_km, oy_km, dx_km, dy_km, time).
+func WriteTransitionsCSV(w io.Writer, ts []model.Transition) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"transition_id", "ox_km", "oy_km", "dx_km", "dy_km", "time"}); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		rec := []string{
+			strconv.Itoa(int(t.ID)),
+			formatCoord(t.O.X), formatCoord(t.O.Y),
+			formatCoord(t.D.X), formatCoord(t.D.Y),
+			strconv.FormatInt(t.Time, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTransitionsCSV parses the WriteTransitionsCSV format.
+func ReadTransitionsCSV(r io.Reader) ([]model.Transition, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: transitions csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataio: transitions csv: empty file")
+	}
+	out := make([]model.Transition, 0, len(records)-1)
+	for ln, rec := range records[1:] {
+		if len(rec) != 6 {
+			return nil, fmt.Errorf("dataio: transitions csv line %d: want 6 fields, got %d", ln+2, len(rec))
+		}
+		id, err1 := strconv.Atoi(rec[0])
+		ox, err2 := strconv.ParseFloat(rec[1], 64)
+		oy, err3 := strconv.ParseFloat(rec[2], 64)
+		dx, err4 := strconv.ParseFloat(rec[3], 64)
+		dy, err5 := strconv.ParseFloat(rec[4], 64)
+		tm, err6 := strconv.ParseInt(rec[5], 10, 64)
+		if err := firstErr(err1, err2, err3, err4, err5, err6); err != nil {
+			return nil, fmt.Errorf("dataio: transitions csv line %d: %w", ln+2, err)
+		}
+		out = append(out, model.Transition{
+			ID: model.TransitionID(id),
+			O:  geo.Pt(ox, oy), D: geo.Pt(dx, dy),
+			Time: tm,
+		})
+	}
+	return out, nil
+}
+
+// snapshot is the gob wire format: a flat network plus the dataset.
+type snapshot struct {
+	Version     int
+	Routes      []model.Route
+	Transitions []model.Transition
+	Points      []geo.Point // network vertex locations
+	EdgeU       []graph.VertexID
+	EdgeV       []graph.VertexID
+	EdgeW       []float64
+}
+
+const snapshotVersion = 1
+
+// WriteSnapshot serialises a dataset and (optionally nil) network to w.
+func WriteSnapshot(w io.Writer, ds *model.Dataset, g *graph.Graph) error {
+	snap := snapshot{
+		Version:     snapshotVersion,
+		Routes:      ds.Routes,
+		Transitions: ds.Transitions,
+	}
+	if g != nil {
+		for v := 0; v < g.NumVertices(); v++ {
+			snap.Points = append(snap.Points, g.Point(graph.VertexID(v)))
+		}
+		for u := 0; u < g.NumVertices(); u++ {
+			for _, e := range g.Neighbors(graph.VertexID(u)) {
+				if graph.VertexID(u) < e.To {
+					snap.EdgeU = append(snap.EdgeU, graph.VertexID(u))
+					snap.EdgeV = append(snap.EdgeV, e.To)
+					snap.EdgeW = append(snap.EdgeW, e.W)
+				}
+			}
+		}
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// ReadSnapshot deserialises a dataset and network written by
+// WriteSnapshot. The network is nil if none was stored.
+func ReadSnapshot(r io.Reader) (*model.Dataset, *graph.Graph, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, nil, fmt.Errorf("dataio: snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, nil, fmt.Errorf("dataio: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	ds := &model.Dataset{Routes: snap.Routes, Transitions: snap.Transitions}
+	var g *graph.Graph
+	if len(snap.Points) > 0 {
+		g = graph.New()
+		for _, p := range snap.Points {
+			g.AddVertex(p)
+		}
+		for i := range snap.EdgeU {
+			if err := g.AddEdge(snap.EdgeU[i], snap.EdgeV[i], snap.EdgeW[i]); err != nil {
+				return nil, nil, fmt.Errorf("dataio: snapshot edge %d: %w", i, err)
+			}
+		}
+	}
+	return ds, g, nil
+}
+
+func formatCoord(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

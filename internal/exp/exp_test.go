@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast: heavily scaled-down datasets and
+// a couple of queries per data point.
+func tinyConfig() Config {
+	return Config{Scale: 64, Queries: 2, SynTransitions: 3000, Seed: 7}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("long-cell", "y")
+	out := tab.Format()
+	for _, want := range []string{"== x: demo ==", "a note", "long-cell", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	if _, err := s.Run("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIDsCoverRegistry(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	reg := s.registry()
+	ids := IDs()
+	if len(ids) != len(reg) {
+		t.Fatalf("IDs() has %d entries, registry %d", len(ids), len(reg))
+	}
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("ID %s not in registry", id)
+		}
+	}
+}
+
+// Every experiment must run and produce a non-empty, well-formed table.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	s := NewSuite(tinyConfig())
+	tables, err := s.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(IDs()) {
+		t.Fatalf("%d tables, want %d", len(tables), len(IDs()))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: row width %d != header %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+		if tab.Format() == "" {
+			t.Errorf("%s: empty formatting", tab.ID)
+		}
+	}
+}
+
+// Shape check at the paper's operating point (k=10, |Q|=5, I=3km) in a
+// regime where k << |DR|: Divide-Conquer must beat Filter-Refine on
+// average, the paper's headline ordering. Degenerate regimes (k close to
+// |DR|) void the comparison, so this uses a moderate scale.
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check in -short mode")
+	}
+	s := NewSuite(Config{Scale: 4, Queries: 6, SynTransitions: 3000, Seed: 7})
+	w := s.LA()
+	rng := s.rng()
+	qs := queryWorkload(w, rng, s.Cfg.Queries, DefaultQLen, DefaultInterval)
+	total, _, _, err := measure(w, qs, DefaultK, rknntMethods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, dc := total[0], total[2]
+	if float64(dc) > 1.2*float64(fr) {
+		t.Errorf("Divide-Conquer %.1fms much slower than Filter-Refine %.1fms at the default point; paper ordering violated",
+			float64(dc)/1e6, float64(fr)/1e6)
+	}
+}
+
+// Figure 21 shape: MaxRkNNT attracts at least as many passengers as
+// MinRkNNT, and the shortest route has the smallest travel distance.
+func TestFig21Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check in -short mode")
+	}
+	s := NewSuite(tinyConfig())
+	tab, err := s.Fig21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][]string{}
+	for _, row := range tab.Rows {
+		vals[row[0]] = row
+	}
+	np := func(name string) float64 {
+		v, err := strconv.ParseFloat(vals[name][2], 64)
+		if err != nil {
+			t.Fatalf("bad NP for %s: %v", name, vals[name])
+		}
+		return v
+	}
+	td := func(name string) float64 {
+		v, err := strconv.ParseFloat(vals[name][3], 64)
+		if err != nil {
+			t.Fatalf("bad TD for %s: %v", name, vals[name])
+		}
+		return v
+	}
+	if np("MaxRkNNT") < np("MinRkNNT") {
+		t.Errorf("MaxRkNNT NP %v < MinRkNNT NP %v", np("MaxRkNNT"), np("MinRkNNT"))
+	}
+	for _, other := range []string{"Original", "MaxRkNNT", "MinRkNNT"} {
+		if td("Shortest") > td(other)+1e-9 {
+			t.Errorf("shortest route TD %v > %s TD %v", td("Shortest"), other, td(other))
+		}
+	}
+}

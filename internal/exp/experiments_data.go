@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table2 regenerates Table 2: route dataset statistics (|DR|, |G.E|,
+// |G.V|) for both cities.
+func (s *Suite) Table2() (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Route datasets (cf. paper Table 2, scaled 1/" + fmt.Sprint(s.Cfg.Scale) + ")",
+		Header: []string{"Dataset", "|DR|", "|G.E|", "|G.V|"},
+	}
+	for _, w := range []*workload{s.LA(), s.NYC()} {
+		t.AddRow(w.Name+"-Route", len(w.City.Dataset.Routes), w.City.Graph.NumEdges(), w.City.Graph.NumVertices())
+	}
+	t.Notes = append(t.Notes,
+		"paper: LA 1208 routes / 72346 edges / 14119 vertices; NYC 2022 / 61118 / 16999")
+	return t, nil
+}
+
+// Table3 regenerates Table 3: transition dataset statistics.
+func (s *Suite) Table3() (*Table, error) {
+	t := &Table{
+		ID:     "table3",
+		Title:  "Transition datasets (cf. paper Table 3, scaled 1/" + fmt.Sprint(s.Cfg.Scale) + ")",
+		Header: []string{"Dataset", "|DT|", "Extent (km)"},
+	}
+	for _, w := range []*workload{s.LA(), s.NYC(), s.Synthetic()} {
+		c := w.City
+		t.AddRow(w.Name+"-Transit", len(c.Dataset.Transitions),
+			fmt.Sprintf("%.0fx%.0f", c.Config.Width, c.Config.Height))
+	}
+	t.Notes = append(t.Notes, "paper: LA 109036, NYC 195833, NYC-Synthetic 10000000 transitions")
+	return t, nil
+}
+
+// Fig6 regenerates Figure 6: the frequency histogram of the ratio between
+// travel distance and straight-line distance over all routes.
+func (s *Suite) Fig6() (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Travel distance / straight-line distance histogram (cf. Figure 6)",
+		Header: []string{"ratio bucket", "#Routes LA", "#Routes NYC"},
+	}
+	buckets := []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0, math.Inf(1)}
+	counts := make([][]int, 2)
+	for wi, w := range []*workload{s.LA(), s.NYC()} {
+		counts[wi] = make([]int, len(buckets))
+		for _, r := range w.City.Dataset.Routes {
+			straight := r.Pts[0].Dist(r.Pts[len(r.Pts)-1])
+			if straight == 0 {
+				continue
+			}
+			ratio := r.TravelDist() / straight
+			for bi, hi := range buckets {
+				if ratio <= hi {
+					counts[wi][bi]++
+					break
+				}
+			}
+		}
+	}
+	lo := 0.8
+	for bi, hi := range buckets {
+		label := fmt.Sprintf("(%.1f, %.1f]", lo, hi)
+		if math.IsInf(hi, 1) {
+			label = fmt.Sprintf("> %.1f", lo)
+		}
+		t.AddRow(label, counts[0][bi], counts[1][bi])
+		lo = hi
+	}
+	t.Notes = append(t.Notes, "expected shape: mass concentrated at ratio <= 2, as in the paper")
+	return t, nil
+}
+
+// Fig8 regenerates Figure 8 as coarse density grids: route-point and
+// transition-endpoint counts over an 8x8 partition of each city.
+func (s *Suite) Fig8() (*Table, error) {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Route / transition density grids (cf. Figure 8 heatmaps)",
+		Header: []string{"City", "Layer", "Density rows (south to north, 8 buckets west to east)"},
+	}
+	const n = 8
+	for _, w := range []*workload{s.NYC(), s.LA()} {
+		c := w.City
+		routeGrid := make([]int, n*n)
+		transGrid := make([]int, n*n)
+		cell := func(x, y float64) int {
+			cx := int(x / c.Config.Width * n)
+			cy := int(y / c.Config.Height * n)
+			if cx < 0 {
+				cx = 0
+			}
+			if cx >= n {
+				cx = n - 1
+			}
+			if cy < 0 {
+				cy = 0
+			}
+			if cy >= n {
+				cy = n - 1
+			}
+			return cy*n + cx
+		}
+		for _, r := range c.Dataset.Routes {
+			for _, p := range r.Pts {
+				routeGrid[cell(p.X, p.Y)]++
+			}
+		}
+		for _, tr := range c.Dataset.Transitions {
+			transGrid[cell(tr.O.X, tr.O.Y)]++
+			transGrid[cell(tr.D.X, tr.D.Y)]++
+		}
+		for row := 0; row < n; row++ {
+			t.AddRow(w.Name, fmt.Sprintf("routes y%d", row), fmtGridRow(routeGrid[row*n:(row+1)*n]))
+		}
+		for row := 0; row < n; row++ {
+			t.AddRow(w.Name, fmt.Sprintf("transit y%d", row), fmtGridRow(transGrid[row*n:(row+1)*n]))
+		}
+	}
+	t.Notes = append(t.Notes, "transitions concentrate around hot spots while routes cover the grid, matching the paper's heatmap contrast")
+	return t, nil
+}
+
+func fmtGridRow(cells []int) string {
+	out := ""
+	for i, c := range cells {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%5d", c)
+	}
+	return out
+}
+
+// Fig17 regenerates Figure 17: histograms of ψ(se) (straight-line OD
+// separation), ψ(R)/|R| (stop interval) and #stops for all routes.
+func (s *Suite) Fig17() (*Table, error) {
+	t := &Table{
+		ID:     "fig17",
+		Title:  "Route statistics histograms (cf. Figure 17)",
+		Header: []string{"City", "Metric", "min", "p25", "median", "p75", "max"},
+	}
+	for _, w := range []*workload{s.LA(), s.NYC()} {
+		var sep, interval, stops []float64
+		for _, r := range w.City.Dataset.Routes {
+			sep = append(sep, r.Pts[0].Dist(r.Pts[len(r.Pts)-1]))
+			interval = append(interval, r.TravelDist()/float64(len(r.Pts)))
+			stops = append(stops, float64(len(r.Pts)))
+		}
+		for _, m := range []struct {
+			name string
+			data []float64
+		}{{"psi(se) km", sep}, {"psi(R)/|R| km", interval}, {"#stops", stops}} {
+			mn, q1, med, q3, mx := quantiles(m.data)
+			t.AddRow(w.Name, m.name, mn, q1, med, q3, mx)
+		}
+	}
+	return t, nil
+}
+
+func quantiles(data []float64) (mn, q1, med, q3, mx float64) {
+	if len(data) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), data...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; data sets are small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	at := func(q float64) float64 { return sorted[int(q*float64(len(sorted)-1))] }
+	return sorted[0], at(0.25), at(0.5), at(0.75), sorted[len(sorted)-1]
+}

@@ -1,0 +1,272 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// rknntMethods are the three methods of Section 7.2, in figure order.
+var rknntMethods = []core.Method{core.FilterRefine, core.Voronoi, core.DivideConquer}
+
+// queryWorkload draws the synthetic query set of Section 7.2.
+func queryWorkload(w *workload, rng *rand.Rand, n, qlen int, interval float64) [][]geo.Point {
+	out := make([][]geo.Point, n)
+	for i := range out {
+		out[i] = w.City.Query(rng, qlen, interval)
+	}
+	return out
+}
+
+// measure runs the queries with each method and returns mean total, filter
+// and verify times per method.
+func measure(w *workload, queries [][]geo.Point, k int, methods []core.Method) (total, filter, verify []time.Duration, err error) {
+	total = make([]time.Duration, len(methods))
+	filter = make([]time.Duration, len(methods))
+	verify = make([]time.Duration, len(methods))
+	for mi, m := range methods {
+		for _, q := range queries {
+			_, st, e := core.RkNNT(w.X, q, core.Options{K: k, Method: m})
+			if e != nil {
+				return nil, nil, nil, e
+			}
+			total[mi] += st.Total()
+			filter[mi] += st.Filter
+			verify[mi] += st.Verify
+		}
+		n := time.Duration(len(queries))
+		total[mi] /= n
+		filter[mi] /= n
+		verify[mi] /= n
+	}
+	return total, filter, verify, nil
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/1e6) }
+
+// Fig9 regenerates Figure 9: RkNNT running time vs k for LA and NYC.
+func (s *Suite) Fig9() (*Table, error) {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "RkNNT running time (ms) vs k (cf. Figure 9)",
+		Header: []string{"City", "k", "Filter-Refine", "Voronoi", "Divide-Conquer"},
+	}
+	for _, w := range []*workload{s.LA(), s.NYC()} {
+		rng := s.rng()
+		for _, k := range SweepK {
+			qs := queryWorkload(w, rng, s.Cfg.Queries, DefaultQLen, DefaultInterval)
+			total, _, _, err := measure(w, qs, k, rknntMethods)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(w.Name, k, ms(total[0]), ms(total[1]), ms(total[2]))
+		}
+	}
+	t.Notes = append(t.Notes, "expected shape: all methods grow with k; DC < Voronoi < Filter-Refine")
+	return t, nil
+}
+
+// Fig10 regenerates Figure 10: filtering/verification breakdown vs k (LA).
+func (s *Suite) Fig10() (*Table, error) {
+	return s.breakdown("fig10", "Breakdown of running time (ms) vs k in LA (cf. Figure 10)",
+		"k", SweepK, func(w *workload, rng *rand.Rand, k int) [][]geo.Point {
+			return queryWorkload(w, rng, s.Cfg.Queries, DefaultQLen, DefaultInterval)
+		}, func(k int) int { return k })
+}
+
+// Fig11 regenerates Figure 11: running time vs |Q|.
+func (s *Suite) Fig11() (*Table, error) {
+	t := &Table{
+		ID:     "fig11",
+		Title:  "RkNNT running time (ms) vs |Q| (cf. Figure 11)",
+		Header: []string{"City", "|Q|", "Filter-Refine", "Voronoi", "Divide-Conquer"},
+	}
+	for _, w := range []*workload{s.LA(), s.NYC()} {
+		rng := s.rng()
+		for _, qlen := range SweepQLen {
+			qs := queryWorkload(w, rng, s.Cfg.Queries, qlen, DefaultInterval)
+			total, _, _, err := measure(w, qs, DefaultK, rknntMethods)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(w.Name, qlen, ms(total[0]), ms(total[1]), ms(total[2]))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: FR and Voronoi rise sharply with |Q|; Divide-Conquer roughly linear")
+	return t, nil
+}
+
+// Fig12 regenerates Figure 12: breakdown vs |Q| (LA).
+func (s *Suite) Fig12() (*Table, error) {
+	return s.breakdown("fig12", "Breakdown of running time (ms) vs |Q| in LA (cf. Figure 12)",
+		"|Q|", SweepQLen, func(w *workload, rng *rand.Rand, qlen int) [][]geo.Point {
+			return queryWorkload(w, rng, s.Cfg.Queries, qlen, DefaultInterval)
+		}, func(int) int { return DefaultK })
+}
+
+// breakdown renders filter/verify splits for a parameter sweep on LA.
+func (s *Suite) breakdown(id, title, param string, sweep []int,
+	gen func(*workload, *rand.Rand, int) [][]geo.Point, kOf func(int) int) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{param, "Method", "Filtering", "Verification", "Verify%"},
+	}
+	w := s.LA()
+	rng := s.rng()
+	for _, v := range sweep {
+		qs := gen(w, rng, v)
+		total, filter, verify, err := measure(w, qs, kOf(v), rknntMethods)
+		if err != nil {
+			return nil, err
+		}
+		for mi, m := range rknntMethods {
+			pct := 0.0
+			if total[mi] > 0 {
+				pct = 100 * float64(verify[mi]) / float64(total[mi])
+			}
+			t.AddRow(v, m.String(), ms(filter[mi]), ms(verify[mi]), fmt.Sprintf("%.0f%%", pct))
+		}
+	}
+	t.Notes = append(t.Notes, "paper observes verification dominating (>80% in most settings)")
+	return t, nil
+}
+
+// Fig13 regenerates Figure 13: scalability on the synthetic dataset,
+// sweeping k and |Q|.
+func (s *Suite) Fig13() (*Table, error) {
+	t := &Table{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("RkNNT on NYC-Synthetic (%d transitions): time (ms) vs k and |Q| (cf. Figure 13)", s.Cfg.SynTransitions),
+		Header: []string{"Sweep", "value", "Filter-Refine", "Voronoi", "Divide-Conquer"},
+	}
+	w := s.Synthetic()
+	rng := s.rng()
+	for _, k := range SweepK {
+		qs := queryWorkload(w, rng, s.Cfg.Queries, DefaultQLen, DefaultInterval)
+		total, _, _, err := measure(w, qs, k, rknntMethods)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("k", k, ms(total[0]), ms(total[1]), ms(total[2]))
+	}
+	for _, qlen := range SweepQLen {
+		qs := queryWorkload(w, rng, s.Cfg.Queries, qlen, DefaultInterval)
+		total, _, _, err := measure(w, qs, DefaultK, rknntMethods)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("|Q|", qlen, ms(total[0]), ms(total[1]), ms(total[2]))
+	}
+	t.Notes = append(t.Notes, "same ordering as the real datasets at 10-100x the transition volume")
+	return t, nil
+}
+
+// Fig14 regenerates Figure 14: running time vs interval length I.
+func (s *Suite) Fig14() (*Table, error) {
+	t := &Table{
+		ID:     "fig14",
+		Title:  "RkNNT running time (ms) vs interval I (cf. Figure 14)",
+		Header: []string{"City", "I (km)", "Filter-Refine", "Voronoi", "Divide-Conquer"},
+	}
+	for _, w := range []*workload{s.LA(), s.NYC()} {
+		rng := s.rng()
+		for _, iv := range SweepInterval {
+			qs := queryWorkload(w, rng, s.Cfg.Queries, DefaultQLen, iv)
+			total, _, _, err := measure(w, qs, DefaultK, rknntMethods)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(w.Name, iv, ms(total[0]), ms(total[1]), ms(total[2]))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: FR/Voronoi rise slightly with I; Divide-Conquer insensitive")
+	return t, nil
+}
+
+// Fig15 regenerates Figure 15: breakdown vs I (LA).
+func (s *Suite) Fig15() (*Table, error) {
+	t := &Table{
+		ID:     "fig15",
+		Title:  "Breakdown of running time (ms) vs interval I in LA (cf. Figure 15)",
+		Header: []string{"I (km)", "Method", "Filtering", "Verification", "Verify%"},
+	}
+	w := s.LA()
+	rng := s.rng()
+	for _, iv := range SweepInterval {
+		qs := queryWorkload(w, rng, s.Cfg.Queries, DefaultQLen, iv)
+		total, filter, verify, err := measure(w, qs, DefaultK, rknntMethods)
+		if err != nil {
+			return nil, err
+		}
+		for mi, m := range rknntMethods {
+			pct := 0.0
+			if total[mi] > 0 {
+				pct = 100 * float64(verify[mi]) / float64(total[mi])
+			}
+			t.AddRow(iv, m.String(), ms(filter[mi]), ms(verify[mi]), fmt.Sprintf("%.0f%%", pct))
+		}
+	}
+	return t, nil
+}
+
+// Fig16 regenerates Figure 16: the distribution of running time when every
+// existing route is used as a query (Divide-Conquer, k=10), with the
+// query's own points removed from the RR-tree first, exactly as Section
+// 7.2 describes.
+func (s *Suite) Fig16() (*Table, error) {
+	t := &Table{
+		ID:     "fig16",
+		Title:  "Run-time distribution over all real route queries, DC, k=10 (cf. Figure 16)",
+		Header: []string{"City", "time bucket (ms)", "#Routes"},
+	}
+	for _, w := range []*workload{s.LA(), s.NYC()} {
+		var times []float64
+		for _, r := range w.City.Dataset.Routes {
+			route := w.X.Route(r.ID)
+			if route == nil {
+				continue
+			}
+			cp := *route // RemoveRoute invalidates the pointer's backing entry
+			cpStops := append([]int32(nil), cp.Stops...)
+			cpPts := append([]geo.Point(nil), cp.Pts...)
+			w.X.RemoveRoute(r.ID)
+			start := time.Now()
+			_, _, err := core.RkNNT(w.X, cpPts, core.Options{K: DefaultK, Method: core.DivideConquer})
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, float64(time.Since(start))/1e6)
+			cp.Stops, cp.Pts = cpStops, cpPts
+			if err := w.X.AddRoute(cp); err != nil {
+				return nil, err
+			}
+		}
+		buckets := []float64{1, 2, 5, 10, 20, 50, 100, 1e18}
+		counts := make([]int, len(buckets))
+		for _, ms := range times {
+			for bi, hi := range buckets {
+				if ms <= hi {
+					counts[bi]++
+					break
+				}
+			}
+		}
+		lo := 0.0
+		for bi, hi := range buckets {
+			label := fmt.Sprintf("(%.0f, %.0f]", lo, hi)
+			if hi > 1e17 {
+				label = fmt.Sprintf("> %.0f", lo)
+			}
+			t.AddRow(w.Name, label, counts[bi])
+			lo = hi
+		}
+	}
+	t.Notes = append(t.Notes, "expected shape: heavy-tailed; most queries fast (paper: >90% under 5s at full scale)")
+	return t, nil
+}

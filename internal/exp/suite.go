@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/planner"
+)
+
+// Suite lazily materialises the datasets and indexes shared by the
+// experiments: the LA-like and NYC-like cities, the large synthetic
+// transition set, and a compact planner city whose graph is small enough
+// for the enumeration baselines.
+type Suite struct {
+	Cfg Config
+
+	la, nyc, syn, plan *workload
+	planPre            *planner.Precomputed
+}
+
+// workload is one generated city plus its indexes.
+type workload struct {
+	Name string
+	City *gen.City
+	X    *index.Index
+}
+
+// NewSuite returns a Suite with the given configuration.
+func NewSuite(cfg Config) *Suite {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	if cfg.Queries < 1 {
+		cfg.Queries = 1
+	}
+	return &Suite{Cfg: cfg}
+}
+
+func (s *Suite) rng() *rand.Rand { return rand.New(rand.NewSource(s.Cfg.Seed)) }
+
+func (s *Suite) build(name string, cfg gen.Config) *workload {
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: generating %s: %v", name, err))
+	}
+	x, err := index.Build(c.Dataset)
+	if err != nil {
+		panic(fmt.Sprintf("exp: indexing %s: %v", name, err))
+	}
+	return &workload{Name: name, City: c, X: x}
+}
+
+// LA returns the LA-like workload, building it on first use.
+func (s *Suite) LA() *workload {
+	if s.la == nil {
+		s.la = s.build("LA", gen.LA(s.Cfg.Scale))
+	}
+	return s.la
+}
+
+// NYC returns the NYC-like workload.
+func (s *Suite) NYC() *workload {
+	if s.nyc == nil {
+		s.nyc = s.build("NYC", gen.NYC(s.Cfg.Scale))
+	}
+	return s.nyc
+}
+
+// Synthetic returns the NYC-Synthetic workload.
+func (s *Suite) Synthetic() *workload {
+	if s.syn == nil {
+		s.syn = s.build("NYC-Synthetic", gen.Synthetic(s.Cfg.Scale, s.Cfg.SynTransitions))
+	}
+	return s.syn
+}
+
+// Planner returns the compact workload used for the MaxRkNNT experiments:
+// a coarser network (so that exhaustive path enumeration stays feasible
+// for the BruteForce baseline) over an LA-like transition distribution.
+func (s *Suite) Planner() *workload {
+	if s.plan == nil {
+		cfg := gen.Config{
+			Seed:  4004,
+			Width: 20, Height: 20,
+			GridStep:       2.0,
+			Jitter:         0.25,
+			NumRoutes:      60,
+			RouteMinStops:  4,
+			RouteMaxStops:  10,
+			NumTransitions: 40000 / s.Cfg.Scale,
+			HotspotCount:   15,
+			HotspotSigma:   1.5,
+			BackgroundFrac: 0.15,
+		}
+		if cfg.NumTransitions < 500 {
+			cfg.NumTransitions = 500
+		}
+		s.plan = s.build("Planner", cfg)
+	}
+	return s.plan
+}

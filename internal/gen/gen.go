@@ -1,0 +1,340 @@
+// Package gen generates synthetic bus networks, route sets, transition
+// sets and query workloads that stand in for the paper's NYC/LA GTFS and
+// Foursquare check-in datasets (see DESIGN.md, "Substitutions").
+//
+// The generator reproduces the structural properties the RkNNT pruning
+// exploits: stops shared by many routes (non-trivial crossover sets),
+// routes that follow a street network with bounded turning (travel to
+// straight-line ratio mostly below 2, Figure 6 of the paper), and
+// transitions clustered around hot spots as in the check-in heatmaps of
+// Figure 8. Everything is deterministic given Config.Seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Config parameterises a synthetic city.
+type Config struct {
+	Seed          int64
+	Width, Height float64 // city extent in km
+
+	GridStep float64 // stop spacing in km (stops sit on a jittered grid)
+	Jitter   float64 // stop position jitter as a fraction of GridStep
+
+	NumRoutes     int
+	RouteMinStops int
+	RouteMaxStops int
+
+	NumTransitions int
+	HotspotCount   int
+	HotspotSigma   float64 // km std-dev of check-ins around a hot spot
+	BackgroundFrac float64 // fraction of transitions drawn uniformly
+
+	TimeSpan int64 // if > 0, transitions get times uniform in [1, TimeSpan]
+}
+
+// LA returns the Los-Angeles-like preset: a sprawling city with longer
+// routes and fewer, wider hot spots. Cardinalities follow Table 2/3 of the
+// paper divided by `scale` (>= 1), so scale=1 reproduces the published
+// sizes and scale=8 is a laptop-friendly default.
+func LA(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		Seed:  1001,
+		Width: 55, Height: 45,
+		GridStep:       0.9,
+		Jitter:         0.25,
+		NumRoutes:      1208 / scale,
+		RouteMinStops:  15,
+		RouteMaxStops:  60,
+		NumTransitions: 109036 / scale,
+		HotspotCount:   40,
+		HotspotSigma:   2.5,
+		BackgroundFrac: 0.15,
+	}
+}
+
+// NYC returns the New-York-like preset: denser network, shorter routes,
+// more and tighter hot spots.
+func NYC(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		Seed:  2002,
+		Width: 40, Height: 50,
+		GridStep:       0.6,
+		Jitter:         0.2,
+		NumRoutes:      2022 / scale,
+		RouteMinStops:  12,
+		RouteMaxStops:  50,
+		NumTransitions: 195833 / scale,
+		HotspotCount:   60,
+		HotspotSigma:   1.5,
+		BackgroundFrac: 0.1,
+	}
+}
+
+// Synthetic returns the NYC-Synthetic preset of Table 3: the NYC network
+// with n transitions (the paper uses 10 million).
+func Synthetic(scale int, n int) Config {
+	cfg := NYC(scale)
+	cfg.Seed = 3003
+	cfg.NumTransitions = n
+	return cfg
+}
+
+// City is a generated workload: the stop set, the bus-network graph over
+// the stops (vertex i is stop i), and the dataset of routes + transitions.
+type City struct {
+	Config  Config
+	Stops   []geo.Point
+	Graph   *graph.Graph
+	Dataset *model.Dataset
+
+	rng *rand.Rand
+}
+
+// Generate builds a deterministic synthetic city from the configuration.
+func Generate(cfg Config) (*City, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.GridStep <= 0 {
+		return nil, fmt.Errorf("gen: non-positive city dimensions")
+	}
+	if cfg.RouteMinStops < 2 || cfg.RouteMaxStops < cfg.RouteMinStops {
+		return nil, fmt.Errorf("gen: bad route stop bounds [%d,%d]", cfg.RouteMinStops, cfg.RouteMaxStops)
+	}
+	if cfg.NumRoutes < 1 {
+		return nil, fmt.Errorf("gen: need at least one route")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &City{Config: cfg, rng: rng}
+	c.buildNetwork(rng)
+	c.buildRoutes(rng)
+	c.buildTransitions(rng)
+	return c, nil
+}
+
+// buildNetwork places stops on a jittered grid and connects grid
+// neighbours, with occasional diagonal shortcuts; a spanning pass keeps
+// the graph connected.
+func (c *City) buildNetwork(rng *rand.Rand) {
+	cols := int(c.Config.Width/c.Config.GridStep) + 1
+	rows := int(c.Config.Height/c.Config.GridStep) + 1
+	g := graph.New()
+	idAt := make([][]graph.VertexID, rows)
+	for r := 0; r < rows; r++ {
+		idAt[r] = make([]graph.VertexID, cols)
+		for col := 0; col < cols; col++ {
+			j := c.Config.Jitter * c.Config.GridStep
+			p := geo.Pt(
+				float64(col)*c.Config.GridStep+rng.NormFloat64()*j,
+				float64(r)*c.Config.GridStep+rng.NormFloat64()*j,
+			)
+			idAt[r][col] = g.AddVertex(p)
+			c.Stops = append(c.Stops, p)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for col := 0; col < cols; col++ {
+			v := idAt[r][col]
+			if col+1 < cols && rng.Float64() < 0.95 {
+				_ = g.AddEdgeEuclidean(v, idAt[r][col+1])
+			}
+			if r+1 < rows && rng.Float64() < 0.95 {
+				_ = g.AddEdgeEuclidean(v, idAt[r+1][col])
+			}
+			if col+1 < cols && r+1 < rows && rng.Float64() < 0.08 {
+				_ = g.AddEdgeEuclidean(v, idAt[r+1][col+1])
+			}
+		}
+	}
+	// Guarantee connectivity: link every vertex missing from the BFS tree
+	// of vertex 0 to its grid predecessor.
+	dist, _ := g.Dijkstra(0)
+	for r := 0; r < rows; r++ {
+		for col := 0; col < cols; col++ {
+			v := idAt[r][col]
+			if !math.IsInf(dist[v], 1) {
+				continue
+			}
+			if col > 0 {
+				_ = g.AddEdgeEuclidean(v, idAt[r][col-1])
+			} else if r > 0 {
+				_ = g.AddEdgeEuclidean(v, idAt[r-1][col])
+			}
+		}
+	}
+	c.Graph = g
+}
+
+// buildRoutes creates bus routes as bounded-turn walks over the network:
+// from each stop the walk prefers the neighbour that keeps its heading,
+// which yields the mostly-straight routes real bus lines exhibit.
+func (c *City) buildRoutes(rng *rand.Rand) {
+	ds := &model.Dataset{}
+	n := c.Graph.NumVertices()
+	for id := 1; id <= c.Config.NumRoutes; id++ {
+		target := c.Config.RouteMinStops
+		if c.Config.RouteMaxStops > c.Config.RouteMinStops {
+			target += rng.Intn(c.Config.RouteMaxStops - c.Config.RouteMinStops + 1)
+		}
+		var stops []graph.VertexID
+		visited := map[graph.VertexID]bool{}
+		cur := graph.VertexID(rng.Intn(n))
+		stops = append(stops, cur)
+		visited[cur] = true
+		heading := rng.Float64() * 2 * math.Pi
+		for len(stops) < target {
+			next, ok := c.pickNext(rng, cur, heading, visited)
+			if !ok {
+				break
+			}
+			d := c.Graph.Point(next).Sub(c.Graph.Point(cur))
+			heading = math.Atan2(d.Y, d.X)
+			cur = next
+			stops = append(stops, cur)
+			visited[cur] = true
+		}
+		if len(stops) < 2 {
+			// Dead end immediately: retry with a different start.
+			id--
+			continue
+		}
+		route := model.Route{ID: model.RouteID(id)}
+		for _, s := range stops {
+			route.Stops = append(route.Stops, model.StopID(s))
+			route.Pts = append(route.Pts, c.Graph.Point(s))
+		}
+		ds.Routes = append(ds.Routes, route)
+	}
+	c.Dataset = ds
+}
+
+// pickNext chooses an unvisited neighbour, weighting options by how little
+// they deviate from the heading; deviations beyond 90° are rejected, the
+// same constraint as the paper's query generator.
+func (c *City) pickNext(rng *rand.Rand, cur graph.VertexID, heading float64, visited map[graph.VertexID]bool) (graph.VertexID, bool) {
+	type opt struct {
+		v graph.VertexID
+		w float64
+	}
+	var opts []opt
+	var total float64
+	for _, e := range c.Graph.Neighbors(cur) {
+		if visited[e.To] {
+			continue
+		}
+		d := c.Graph.Point(e.To).Sub(c.Graph.Point(cur))
+		dev := math.Abs(angleDiff(math.Atan2(d.Y, d.X), heading))
+		if dev > math.Pi/2 {
+			continue
+		}
+		w := 1.0 / (0.15 + dev)
+		opts = append(opts, opt{e.To, w})
+		total += w
+	}
+	if len(opts) == 0 {
+		return 0, false
+	}
+	pick := rng.Float64() * total
+	for _, o := range opts {
+		pick -= o.w
+		if pick <= 0 {
+			return o.v, true
+		}
+	}
+	return opts[len(opts)-1].v, true
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// buildTransitions draws transition endpoints from a mixture of Gaussian
+// hot spots centred on stops (Foursquare-like clustering) plus a uniform
+// background component.
+func (c *City) buildTransitions(rng *rand.Rand) {
+	hot := make([]geo.Point, c.Config.HotspotCount)
+	for i := range hot {
+		hot[i] = c.Stops[rng.Intn(len(c.Stops))]
+	}
+	samplePoint := func() geo.Point {
+		if len(hot) == 0 || rng.Float64() < c.Config.BackgroundFrac {
+			return geo.Pt(rng.Float64()*c.Config.Width, rng.Float64()*c.Config.Height)
+		}
+		h := hot[rng.Intn(len(hot))]
+		return geo.Pt(
+			h.X+rng.NormFloat64()*c.Config.HotspotSigma,
+			h.Y+rng.NormFloat64()*c.Config.HotspotSigma,
+		)
+	}
+	for i := 1; i <= c.Config.NumTransitions; i++ {
+		tr := model.Transition{
+			ID: model.TransitionID(i),
+			O:  samplePoint(),
+			D:  samplePoint(),
+		}
+		if c.Config.TimeSpan > 0 {
+			tr.Time = 1 + rng.Int63n(c.Config.TimeSpan)
+		}
+		c.Dataset.Transitions = append(c.Dataset.Transitions, tr)
+	}
+}
+
+// Query generates a synthetic query route exactly as Section 7.2
+// describes: a random start point drawn from the route set, extended point
+// by point with interval length (km) and a rotation of at most 90° per
+// extension so the route does not zigzag.
+func (c *City) Query(rng *rand.Rand, numPoints int, interval float64) []geo.Point {
+	if numPoints < 1 {
+		return nil
+	}
+	route := &c.Dataset.Routes[rng.Intn(len(c.Dataset.Routes))]
+	p := route.Pts[rng.Intn(len(route.Pts))]
+	q := []geo.Point{p}
+	heading := rng.Float64() * 2 * math.Pi
+	for len(q) < numPoints {
+		heading += (rng.Float64() - 0.5) * math.Pi / 2
+		p = geo.Pt(p.X+interval*math.Cos(heading), p.Y+interval*math.Sin(heading))
+		q = append(q, p)
+	}
+	return q
+}
+
+// ODPair returns a start/end vertex pair whose straight-line separation is
+// within [minSep, maxSep] km, used to control ψ(se) in the MaxRkNNT
+// experiments (Figure 18). ok is false if no pair is found.
+func (c *City) ODPair(rng *rand.Rand, minSep, maxSep float64) (s, e graph.VertexID, ok bool) {
+	n := c.Graph.NumVertices()
+	for attempt := 0; attempt < 10000; attempt++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		d := c.Graph.Point(a).Dist(c.Graph.Point(b))
+		if d >= minSep && d <= maxSep {
+			return a, b, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Rand returns the city's deterministic random source, for callers that
+// need reproducible follow-on sampling (query workloads etc.).
+func (c *City) Rand() *rand.Rand { return c.rng }

@@ -1,0 +1,290 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+func smallConfig() Config {
+	return Config{
+		Seed:  7,
+		Width: 20, Height: 20,
+		GridStep:       1.0,
+		Jitter:         0.2,
+		NumRoutes:      40,
+		RouteMinStops:  5,
+		RouteMaxStops:  15,
+		NumTransitions: 500,
+		HotspotCount:   8,
+		HotspotSigma:   1.5,
+		BackgroundFrac: 0.2,
+	}
+}
+
+func TestGenerateBasic(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Dataset.Routes) != 40 {
+		t.Errorf("routes = %d, want 40", len(c.Dataset.Routes))
+	}
+	if len(c.Dataset.Transitions) != 500 {
+		t.Errorf("transitions = %d, want 500", len(c.Dataset.Transitions))
+	}
+	if c.Graph.NumVertices() != len(c.Stops) {
+		t.Errorf("graph vertices %d != stops %d", c.Graph.NumVertices(), len(c.Stops))
+	}
+	if c.Graph.NumEdges() == 0 {
+		t.Error("no edges")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := smallConfig()
+	bad.Width = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad = smallConfig()
+	bad.RouteMinStops = 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("1-stop routes accepted")
+	}
+	bad = smallConfig()
+	bad.NumRoutes = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero routes accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dataset.Routes) != len(b.Dataset.Routes) {
+		t.Fatal("route counts differ across runs")
+	}
+	for i := range a.Dataset.Routes {
+		ra, rb := a.Dataset.Routes[i], b.Dataset.Routes[i]
+		if len(ra.Pts) != len(rb.Pts) {
+			t.Fatalf("route %d lengths differ", i)
+		}
+		for j := range ra.Pts {
+			if ra.Pts[j] != rb.Pts[j] {
+				t.Fatalf("route %d point %d differs", i, j)
+			}
+		}
+	}
+	for i := range a.Dataset.Transitions {
+		if a.Dataset.Transitions[i] != b.Dataset.Transitions[i] {
+			t.Fatalf("transition %d differs", i)
+		}
+	}
+}
+
+// Routes must follow graph edges: consecutive stops are adjacent.
+func TestRoutesFollowNetwork(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.Dataset.Routes {
+		if len(r.Pts) < 2 {
+			t.Fatalf("route %d too short", r.ID)
+		}
+		for i := 1; i < len(r.Stops); i++ {
+			if !c.Graph.HasEdge(r.Stops[i-1], r.Stops[i]) {
+				t.Fatalf("route %d hop %d-%d not a network edge", r.ID, r.Stops[i-1], r.Stops[i])
+			}
+		}
+		// No revisits (simple path).
+		seen := map[model.StopID]bool{}
+		for _, s := range r.Stops {
+			if seen[s] {
+				t.Fatalf("route %d revisits stop %d", r.ID, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// The travel/straight-line ratio should be bounded like Figure 6: mostly
+// under 2, and never absurd.
+func TestRouteDetourRatio(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	under2 := 0
+	for _, r := range c.Dataset.Routes {
+		travel := r.TravelDist()
+		straight := r.Pts[0].Dist(r.Pts[len(r.Pts)-1])
+		if straight == 0 {
+			continue
+		}
+		ratio := travel / straight
+		if ratio < 1-1e-9 {
+			t.Fatalf("route %d ratio %v < 1", r.ID, ratio)
+		}
+		if ratio <= 2 {
+			under2++
+		}
+	}
+	if frac := float64(under2) / float64(len(c.Dataset.Routes)); frac < 0.7 {
+		t.Errorf("only %.0f%% of routes have detour ratio <= 2 (Figure 6 shape)", frac*100)
+	}
+}
+
+// Stop sharing: crossover sets must be non-trivial for the PList to matter.
+func TestStopSharing(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverage := map[model.StopID]int{}
+	for _, r := range c.Dataset.Routes {
+		for _, s := range r.Stops {
+			coverage[s]++
+		}
+	}
+	shared := 0
+	for _, n := range coverage {
+		if n >= 2 {
+			shared++
+		}
+	}
+	if shared < 10 {
+		t.Errorf("only %d stops shared by >= 2 routes; generator must produce crossover", shared)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _ := c.Graph.Dijkstra(0)
+	for v, d := range dist {
+		if math.IsInf(d, 1) {
+			t.Fatalf("vertex %d unreachable", v)
+		}
+	}
+}
+
+func TestQueryGenerator(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		interval := 0.5 + rng.Float64()*2
+		q := c.Query(rng, n, interval)
+		if len(q) != n {
+			t.Fatalf("query has %d points, want %d", len(q), n)
+		}
+		for i := 1; i < len(q); i++ {
+			if d := q[i-1].Dist(q[i]); math.Abs(d-interval) > 1e-9 {
+				t.Fatalf("interval %v, want %v", d, interval)
+			}
+		}
+		// Turn angle <= 90 degrees between consecutive segments.
+		for i := 2; i < len(q); i++ {
+			a := q[i-1].Sub(q[i-2])
+			b := q[i].Sub(q[i-1])
+			dot := a.Dot(b) / (a.Norm() * b.Norm())
+			if dot < math.Cos(math.Pi/2)-1e-6 {
+				t.Fatalf("turn angle exceeds 90 degrees at point %d", i)
+			}
+		}
+	}
+	if got := c.Query(rng, 0, 1); got != nil {
+		t.Error("zero-point query should be nil")
+	}
+}
+
+func TestODPair(t *testing.T) {
+	c, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	s, e, ok := c.ODPair(rng, 5, 10)
+	if !ok {
+		t.Fatal("no OD pair found")
+	}
+	d := c.Graph.Point(s).Dist(c.Graph.Point(e))
+	if d < 5 || d > 10 {
+		t.Errorf("separation %v outside [5,10]", d)
+	}
+	if _, _, ok := c.ODPair(rng, 1e6, 2e6); ok {
+		t.Error("impossible separation satisfied")
+	}
+}
+
+func TestTimestamps(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TimeSpan = 86400
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range c.Dataset.Transitions {
+		if tr.Time < 1 || tr.Time > 86400 {
+			t.Fatalf("transition %d time %d outside span", tr.ID, tr.Time)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, cfg := range []Config{LA(16), NYC(16), Synthetic(16, 1000)} {
+		c, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Dataset.Routes) == 0 || len(c.Dataset.Transitions) == 0 {
+			t.Errorf("preset produced empty dataset")
+		}
+	}
+	// Scale clamping.
+	if LA(0).NumRoutes != LA(1).NumRoutes {
+		t.Error("scale < 1 not clamped")
+	}
+}
+
+// Transitions cluster around hot spots: the spread of endpoints should be
+// far from uniform (compare against uniform via mean nearest-stop dist).
+func TestHotspotClustering(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BackgroundFrac = 0
+	cfg.HotspotSigma = 0.5
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With tight hot spots, most endpoints must lie within 3 sigma of some
+	// hot spot stop; approximate via distance to the nearest stop.
+	within := 0
+	for _, tr := range c.Dataset.Transitions {
+		for _, p := range []geo.Point{tr.O, tr.D} {
+			if geo.PointRouteDist(p, c.Stops) < 3*cfg.HotspotSigma {
+				within++
+			}
+		}
+	}
+	frac := float64(within) / float64(2*len(c.Dataset.Transitions))
+	if frac < 0.9 {
+		t.Errorf("only %.0f%% of endpoints near stops with zero background", frac*100)
+	}
+}

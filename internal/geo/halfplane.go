@@ -1,0 +1,216 @@
+package geo
+
+import "math"
+
+// This file implements the half-space pruning primitives of Section 4.1.1
+// of the paper. The perpendicular bisector ⊥(a, b) of two sites a and b
+// splits the plane into H_{a:b} (strictly closer to a) and H_{b:a}
+// (strictly closer to b). Filtering spaces (Definitions 6 and 8) are
+// intersections/unions of such half-planes; all tests below are exact.
+
+// CloserToA reports whether p is strictly closer to a than to b, i.e.
+// p ∈ H_{a:b}.
+func CloserToA(p, a, b Point) bool {
+	return p.Dist2(a) < p.Dist2(b)
+}
+
+// RectInHalfPlane reports whether every point of rect is strictly closer to
+// a than to b, i.e. rect ⊂ H_{a:b}. Because the half-plane is convex it
+// suffices to test the four corners.
+func RectInHalfPlane(rect Rect, a, b Point) bool {
+	for _, c := range rect.Corners() {
+		if !CloserToA(c, a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// PointInFilterSpace reports whether t ∈ H_{r:Q}: t is strictly closer to
+// the filtering point r than to every query point (Definition 6). A
+// transition point in this space cannot take Q as its nearest route point,
+// and by Lemma 2 cannot take Q as a route nearer than r's route.
+func PointInFilterSpace(t, r Point, query []Point) bool {
+	dr := t.Dist2(r)
+	for _, q := range query {
+		if dr >= t.Dist2(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// RectInFilterSpace reports whether rect ⊂ H_{r:Q} (Definition 6): every
+// point of rect is strictly closer to r than to every query point. The
+// filtering space is an intersection of half-planes and hence convex, so
+// corner testing is exact. The rect center is tested first: it lies inside
+// the rect, so it failing any half-plane refutes containment at a quarter
+// of the corner-test cost — the common case on this hot path.
+func RectInFilterSpace(rect Rect, r Point, query []Point) bool {
+	center := rect.Center()
+	dc := center.Dist2(r)
+	for _, q := range query {
+		if dc >= center.Dist2(q) {
+			return false
+		}
+	}
+	for _, q := range query {
+		if !RectInHalfPlane(rect, r, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// halfPlane is the predicate n·x < c describing the open half-plane of
+// points strictly closer to site a than to site b, where n = b-a and
+// c = (|b|² - |a|²)/2.
+//
+// The eps slack shifts the boundary slightly toward a, so points that are
+// equidistant in exact arithmetic (or within floating-point noise of it)
+// always test as inside a's half-plane. Clipping is only used to decide
+// "does this rectangle intersect a Voronoi cell of the query"; the slack
+// makes ties resolve to "intersects", which suppresses pruning rather than
+// results — the conservative direction. Without it, the bisector algebra
+// here can round an exact tie differently from the Dist2 comparisons used
+// by the verification step, yielding false pruning (observed when a query
+// point coincides with a shared bus stop).
+type halfPlane struct {
+	nx, ny, c float64
+	eps       float64
+}
+
+func bisectorHalfPlane(a, b Point) halfPlane {
+	c := (b.X*b.X + b.Y*b.Y - a.X*a.X - a.Y*a.Y) / 2
+	return halfPlane{
+		nx:  b.X - a.X,
+		ny:  b.Y - a.Y,
+		c:   c,
+		eps: 1e-9 * (1 + math.Abs(c)),
+	}
+}
+
+func (h halfPlane) side(p Point) float64 {
+	return h.nx*p.X + h.ny*p.Y - h.c - h.eps
+}
+
+// clipPolygon clips a convex polygon against the half-plane using
+// Sutherland–Hodgman and returns the clipped polygon (possibly empty).
+// The dst slice is reused to avoid allocation; callers must treat the
+// returned slice as invalidating dst.
+func (h halfPlane) clipPolygon(poly, dst []Point) []Point {
+	dst = dst[:0]
+	n := len(poly)
+	if n == 0 {
+		return dst
+	}
+	prev := poly[n-1]
+	prevSide := h.side(prev)
+	for _, cur := range poly {
+		curSide := h.side(cur)
+		switch {
+		case prevSide <= 0 && curSide <= 0: // both inside
+			dst = append(dst, cur)
+		case prevSide <= 0 && curSide > 0: // leaving
+			dst = append(dst, intersect(prev, cur, prevSide, curSide))
+		case prevSide > 0 && curSide <= 0: // entering
+			dst = append(dst, intersect(prev, cur, prevSide, curSide))
+			dst = append(dst, cur)
+		}
+		prev, prevSide = cur, curSide
+	}
+	return dst
+}
+
+// intersect returns the point on segment (p, q) where the half-plane
+// boundary is crossed, given the signed side values at p and q.
+func intersect(p, q Point, sp, sq float64) Point {
+	t := sp / (sp - sq)
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// RectIntersectsVoronoiCell reports whether rect intersects the Voronoi
+// cell of site `own` in the Voronoi diagram whose sites are `own` plus
+// `others`. The cell is the intersection of half-planes H_{own:s}; the test
+// clips the rectangle polygon against each of them and reports whether a
+// non-empty region remains.
+func RectIntersectsVoronoiCell(rect Rect, own Point, others []Point) bool {
+	corners := rect.Corners()
+	poly := append(make([]Point, 0, 8), corners[:]...)
+	buf := make([]Point, 0, 8)
+	for _, s := range others {
+		if s == own {
+			continue
+		}
+		h := bisectorHalfPlane(own, s)
+		poly, buf = h.clipPolygon(poly, buf), poly
+		if len(poly) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RectInVoronoiFilterSpace reports whether rect ⊂ H_{R:Q} (Definition 8):
+// the union of the Voronoi cells of the route points `route` in the diagram
+// of route ∪ query. Equivalently, rect must not intersect the Voronoi cell
+// of any query point. Any transition point inside H_{R:Q} is closer to the
+// filtering route than to the query route.
+func RectInVoronoiFilterSpace(rect Rect, route, query []Point) bool {
+	var scratch VoronoiScratch
+	return RectInVoronoiFilterSpaceBuf(rect, route, query, &scratch)
+}
+
+// VoronoiScratch holds reusable clip buffers for
+// RectInVoronoiFilterSpaceBuf; callers on hot paths keep one per
+// goroutine to avoid per-test allocations.
+type VoronoiScratch struct {
+	poly, buf []Point
+}
+
+// RectInVoronoiFilterSpaceBuf is RectInVoronoiFilterSpace with
+// caller-provided scratch buffers.
+func RectInVoronoiFilterSpaceBuf(rect Rect, route, query []Point, scratch *VoronoiScratch) bool {
+	if len(route) == 0 {
+		return false
+	}
+	for _, q := range query {
+		if rectIntersectsCellOf(rect, q, query, route, scratch) {
+			return false
+		}
+	}
+	return true
+}
+
+// rectIntersectsCellOf tests rect against the cell of q where the other
+// sites are all route points and all query points except q itself.
+func rectIntersectsCellOf(rect Rect, q Point, query, route []Point, scratch *VoronoiScratch) bool {
+	corners := rect.Corners()
+	poly := append(scratch.poly[:0], corners[:]...)
+	buf := scratch.buf[:0]
+	clip := func(s Point) bool { // returns true if polygon became empty
+		h := bisectorHalfPlane(q, s)
+		poly, buf = h.clipPolygon(poly, buf), poly
+		return len(poly) == 0
+	}
+	empty := false
+	for _, s := range route {
+		if clip(s) {
+			empty = true
+			break
+		}
+	}
+	if !empty {
+		for _, s := range query {
+			if s == q {
+				continue
+			}
+			if clip(s) {
+				empty = true
+				break
+			}
+		}
+	}
+	scratch.poly, scratch.buf = poly, buf
+	return !empty
+}

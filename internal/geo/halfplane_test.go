@@ -1,0 +1,236 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCloserToA(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 0)
+	if !CloserToA(Pt(1, 0), a, b) {
+		t.Error("point near a should be closer to a")
+	}
+	if CloserToA(Pt(9, 0), a, b) {
+		t.Error("point near b should not be closer to a")
+	}
+	if CloserToA(Pt(5, 3), a, b) {
+		t.Error("point on bisector is not strictly closer")
+	}
+}
+
+// RectInHalfPlane must agree with exhaustive sampling of the rectangle.
+func TestRectInHalfPlaneSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		rect := randRect(rng)
+		a, b := randPoint(rng), randPoint(rng)
+		if a == b {
+			continue
+		}
+		in := RectInHalfPlane(rect, a, b)
+		allCloser := true
+		for j := 0; j < 100; j++ {
+			p := Pt(
+				rect.Min.X+rng.Float64()*(rect.Max.X-rect.Min.X),
+				rect.Min.Y+rng.Float64()*(rect.Max.Y-rect.Min.Y),
+			)
+			if !CloserToA(p, a, b) {
+				allCloser = false
+				break
+			}
+		}
+		// in => every sample closer. (The converse may fail due to sampling.)
+		if in && !allCloser {
+			t.Fatalf("RectInHalfPlane=true but sampled point not closer (rect=%v a=%v b=%v)", rect, a, b)
+		}
+	}
+}
+
+func TestPointInFilterSpace(t *testing.T) {
+	query := []Point{Pt(10, 0), Pt(10, 5)}
+	r := Pt(0, 0)
+	if !PointInFilterSpace(Pt(1, 1), r, query) {
+		t.Error("point near r should be in H_{r:Q}")
+	}
+	if PointInFilterSpace(Pt(9, 1), r, query) {
+		t.Error("point near query should not be in H_{r:Q}")
+	}
+	// Closer to r than q1 but not q2.
+	if PointInFilterSpace(Pt(4, 20), r, []Point{Pt(30, 0), Pt(4, 21)}) {
+		t.Error("must be closer to r than *every* query point")
+	}
+}
+
+// RectInFilterSpace implies every sampled interior point is in the space.
+func TestRectInFilterSpaceSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 300; i++ {
+		rect := randRect(rng)
+		r := randPoint(rng)
+		query := randPoints(rng, 1+rng.Intn(5))
+		if !RectInFilterSpace(rect, r, query) {
+			continue
+		}
+		for j := 0; j < 100; j++ {
+			p := Pt(
+				rect.Min.X+rng.Float64()*(rect.Max.X-rect.Min.X),
+				rect.Min.Y+rng.Float64()*(rect.Max.Y-rect.Min.Y),
+			)
+			if !PointInFilterSpace(p, r, query) {
+				t.Fatalf("rect claimed inside H_{r:Q} but sample %v is not", p)
+			}
+		}
+	}
+}
+
+// A rect strictly on r's side must be accepted: completeness on an easy case.
+func TestRectInFilterSpaceAcceptsObvious(t *testing.T) {
+	r := Pt(0, 0)
+	query := []Point{Pt(100, 0), Pt(100, 10)}
+	rect := Rect{Min: Pt(-2, -2), Max: Pt(2, 2)}
+	if !RectInFilterSpace(rect, r, query) {
+		t.Error("small rect around r should be inside the filter space")
+	}
+}
+
+func TestClipPolygonHalf(t *testing.T) {
+	// Unit square clipped by bisector of (0,0.5)-(1,0.5): keep left half.
+	square := []Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
+	h := bisectorHalfPlane(Pt(0, 0.5), Pt(1, 0.5))
+	got := h.clipPolygon(square, nil)
+	if len(got) == 0 {
+		t.Fatal("clip returned empty polygon")
+	}
+	// The clip boundary carries a deliberate conservative epsilon (see
+	// halfPlane.eps), so allow a small tolerance.
+	if a := polygonArea(got); math.Abs(a-0.5) > 1e-6 {
+		t.Errorf("clipped area = %v, want 0.5", a)
+	}
+	for _, p := range got {
+		if p.X > 0.5+1e-6 {
+			t.Errorf("clipped vertex %v on wrong side", p)
+		}
+	}
+}
+
+func TestClipPolygonAllOrNothing(t *testing.T) {
+	square := []Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
+	// Bisector far to the right: square entirely kept.
+	h := bisectorHalfPlane(Pt(0, 0), Pt(100, 0))
+	got := h.clipPolygon(square, nil)
+	if a := polygonArea(got); math.Abs(a-1) > 1e-9 {
+		t.Errorf("area = %v, want 1 (fully inside)", a)
+	}
+	// Reversed: square entirely clipped away.
+	h = bisectorHalfPlane(Pt(100, 0), Pt(0, 0))
+	got = h.clipPolygon(square, nil)
+	if len(got) != 0 {
+		t.Errorf("polygon should be fully clipped, got %v", got)
+	}
+}
+
+// Clipping can only shrink area.
+func TestClipPolygonShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		rect := randRect(rng)
+		c := rect.Corners()
+		poly := c[:]
+		area := polygonArea(poly)
+		a, b := randPoint(rng), randPoint(rng)
+		if a == b {
+			continue
+		}
+		clipped := bisectorHalfPlane(a, b).clipPolygon(poly, nil)
+		if ca := polygonArea(clipped); ca > area+1e-9 {
+			t.Fatalf("clip grew area: %v -> %v", area, ca)
+		}
+	}
+}
+
+func TestRectIntersectsVoronoiCell(t *testing.T) {
+	// Sites: own at origin, other at (10, 0). Cell of own = x < 5.
+	own := Pt(0, 0)
+	others := []Point{Pt(10, 0)}
+	if !RectIntersectsVoronoiCell(Rect{Min: Pt(0, 0), Max: Pt(1, 1)}, own, others) {
+		t.Error("rect near own site must intersect its cell")
+	}
+	if RectIntersectsVoronoiCell(Rect{Min: Pt(6, 0), Max: Pt(8, 1)}, own, others) {
+		t.Error("rect beyond bisector must not intersect the cell")
+	}
+	// Rect straddling the bisector intersects.
+	if !RectIntersectsVoronoiCell(Rect{Min: Pt(4, 0), Max: Pt(6, 1)}, own, others) {
+		t.Error("straddling rect must intersect")
+	}
+}
+
+// If RectInVoronoiFilterSpace says the rect is covered by the route's cells,
+// every sampled point must be closer to the route than to the query.
+func TestRectInVoronoiFilterSpaceSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	hits := 0
+	for i := 0; i < 2000 && hits < 50; i++ {
+		route := randPoints(rng, 2+rng.Intn(4))
+		query := randPoints(rng, 1+rng.Intn(4))
+		rect := randRect(rng)
+		if !RectInVoronoiFilterSpace(rect, route, query) {
+			continue
+		}
+		hits++
+		for j := 0; j < 200; j++ {
+			p := Pt(
+				rect.Min.X+rng.Float64()*(rect.Max.X-rect.Min.X),
+				rect.Min.Y+rng.Float64()*(rect.Max.Y-rect.Min.Y),
+			)
+			if PointRouteDist2(p, route) >= PointRouteDist2(p, query) {
+				t.Fatalf("Voronoi filter claimed rect covered but %v closer to query", p)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Skip("no positive cases sampled")
+	}
+}
+
+// The Voronoi filter space of a whole route contains the single-point filter
+// space of each of its points (the motivation for Section 5.1): whenever a
+// rect is inside H_{r:Q} for some r in R, it is inside H_{R:Q}.
+func TestVoronoiFilterSubsumesPointFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	checked := 0
+	for i := 0; i < 3000 && checked < 100; i++ {
+		route := randPoints(rng, 2+rng.Intn(4))
+		query := randPoints(rng, 1+rng.Intn(4))
+		rect := randRect(rng)
+		inPoint := false
+		for _, r := range route {
+			if RectInFilterSpace(rect, r, query) {
+				inPoint = true
+				break
+			}
+		}
+		if !inPoint {
+			continue
+		}
+		checked++
+		if !RectInVoronoiFilterSpace(rect, route, query) {
+			t.Fatalf("rect inside a point filter space but not the route Voronoi space (route=%v query=%v rect=%v)", route, query, rect)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no positive cases sampled")
+	}
+}
+
+func polygonArea(poly []Point) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	var s float64
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		s += poly[i].X*poly[j].Y - poly[j].X*poly[i].Y
+	}
+	return math.Abs(s) / 2
+}

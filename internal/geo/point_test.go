@@ -1,0 +1,153 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(1, 2), Pt(1, 2), 0},
+		{"unit x", Pt(0, 0), Pt(1, 0), 1},
+		{"unit y", Pt(0, 0), Pt(0, 1), 1},
+		{"3-4-5", Pt(0, 0), Pt(3, 4), 5},
+		{"negative", Pt(-3, -4), Pt(0, 0), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(clampCoord(ax), clampCoord(ay)), Pt(clampCoord(bx), clampCoord(by))
+		d := a.Dist(b)
+		return math.Abs(a.Dist2(b)-d*d) <= 1e-9*(1+d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(clampCoord(ax), clampCoord(ay)), Pt(clampCoord(bx), clampCoord(by))
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a, b, c := randPoint(rng), randPoint(rng), randPoint(rng)
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a, b := Pt(1, 2), Pt(3, 5)
+	if got := a.Add(b); got != Pt(4, 7) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != Pt(2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 13 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Pt(3, 4).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestPolylineLen(t *testing.T) {
+	if got := PolylineLen(nil); got != 0 {
+		t.Errorf("empty polyline length = %v", got)
+	}
+	if got := PolylineLen([]Point{Pt(0, 0)}); got != 0 {
+		t.Errorf("single point length = %v", got)
+	}
+	pts := []Point{Pt(0, 0), Pt(3, 4), Pt(3, 10)}
+	if got := PolylineLen(pts); math.Abs(got-11) > 1e-12 {
+		t.Errorf("polyline length = %v, want 11", got)
+	}
+}
+
+func TestPointRouteDist(t *testing.T) {
+	route := []Point{Pt(0, 0), Pt(10, 0), Pt(20, 0)}
+	tests := []struct {
+		t    Point
+		want float64
+	}{
+		{Pt(0, 0), 0},
+		{Pt(5, 0), 5}, // midway: nearest route *point* is 5 away
+		{Pt(10, 3), 3},
+		{Pt(25, 0), 5},
+	}
+	for _, tt := range tests {
+		if got := PointRouteDist(tt.t, route); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("PointRouteDist(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if got := PointRouteDist(Pt(0, 0), nil); !math.IsInf(got, 1) {
+		t.Errorf("empty route dist = %v, want +Inf", got)
+	}
+}
+
+func TestPointRouteDistIsMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		route := randPoints(rng, 1+rng.Intn(10))
+		p := randPoint(rng)
+		want := math.Inf(1)
+		for _, r := range route {
+			if d := p.Dist(r); d < want {
+				want = d
+			}
+		}
+		if got := PointRouteDist(p, route); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("PointRouteDist = %v, want %v", got, want)
+		}
+		d2 := PointRouteDist2(p, route)
+		if math.Abs(d2-want*want) > 1e-6 {
+			t.Fatalf("PointRouteDist2 = %v, want %v", d2, want*want)
+		}
+	}
+}
+
+func clampCoord(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func randPoint(rng *rand.Rand) Point {
+	return Pt(rng.Float64()*100-50, rng.Float64()*100-50)
+}
+
+func randPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = randPoint(rng)
+	}
+	return pts
+}

@@ -1,0 +1,36 @@
+package geo
+
+import "math"
+
+// earthRadiusKM is the mean Earth radius used by the equirectangular
+// projection.
+const earthRadiusKM = 6371.0
+
+// Projection maps WGS84 latitude/longitude to the planar kilometre
+// coordinates the RkNNT algorithms operate on, using an equirectangular
+// projection centred on a reference point. Adequate for city extents
+// (tens of kilometres), where the distortion is well below stop spacing.
+type Projection struct {
+	lat0, lon0 float64 // reference point, degrees
+	cosLat0    float64
+}
+
+// NewProjection returns a projection centred on (lat0, lon0) degrees.
+func NewProjection(lat0, lon0 float64) *Projection {
+	return &Projection{lat0: lat0, lon0: lon0, cosLat0: math.Cos(lat0 * math.Pi / 180)}
+}
+
+// Project converts degrees latitude/longitude to kilometres relative to
+// the projection centre (x east, y north).
+func (p *Projection) Project(lat, lon float64) Point {
+	x := (lon - p.lon0) * math.Pi / 180 * earthRadiusKM * p.cosLat0
+	y := (lat - p.lat0) * math.Pi / 180 * earthRadiusKM
+	return Point{X: x, Y: y}
+}
+
+// Unproject converts kilometres back to degrees latitude/longitude.
+func (p *Projection) Unproject(pt Point) (lat, lon float64) {
+	lat = p.lat0 + pt.Y/earthRadiusKM*180/math.Pi
+	lon = p.lon0 + pt.X/(earthRadiusKM*p.cosLat0)*180/math.Pi
+	return lat, lon
+}

@@ -1,0 +1,49 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProjectionKnownDistances(t *testing.T) {
+	// At the equator, 1 degree of longitude is ~111.19 km.
+	p := NewProjection(0, 0)
+	d := p.Project(0, 1).Dist(p.Project(0, 0))
+	if math.Abs(d-111.19) > 0.5 {
+		t.Errorf("1 deg lon at equator = %.2f km, want ~111.19", d)
+	}
+	// 1 degree of latitude is ~111.19 km everywhere.
+	p60 := NewProjection(60, 10)
+	d = p60.Project(61, 10).Dist(p60.Project(60, 10))
+	if math.Abs(d-111.19) > 0.5 {
+		t.Errorf("1 deg lat at 60N = %.2f km, want ~111.19", d)
+	}
+	// At 60N, longitude degrees shrink by cos(60) = 0.5.
+	d = p60.Project(60, 11).Dist(p60.Project(60, 10))
+	if math.Abs(d-55.6) > 0.5 {
+		t.Errorf("1 deg lon at 60N = %.2f km, want ~55.6", d)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 200; i++ {
+		lat0 := rng.Float64()*120 - 60
+		lon0 := rng.Float64()*360 - 180
+		p := NewProjection(lat0, lon0)
+		lat := lat0 + rng.Float64()*0.5 - 0.25
+		lon := lon0 + rng.Float64()*0.5 - 0.25
+		gotLat, gotLon := p.Unproject(p.Project(lat, lon))
+		if math.Abs(gotLat-lat) > 1e-9 || math.Abs(gotLon-lon) > 1e-9 {
+			t.Fatalf("round trip (%.6f,%.6f) -> (%.6f,%.6f)", lat, lon, gotLat, gotLon)
+		}
+	}
+}
+
+func TestProjectionCenterIsOrigin(t *testing.T) {
+	p := NewProjection(40.7, -74.0)
+	if got := p.Project(40.7, -74.0); got.Norm() > 1e-12 {
+		t.Errorf("projection center maps to %v, want origin", got)
+	}
+}

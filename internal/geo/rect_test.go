@@ -1,0 +1,182 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randRect(rng *rand.Rand) Rect {
+	a, b := randPoint(rng), randPoint(rng)
+	return RectOf(a).ExpandPoint(b)
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect is not empty")
+	}
+	if e.Area() != 0 {
+		t.Errorf("empty area = %v", e.Area())
+	}
+	if e.Margin() != 0 {
+		t.Errorf("empty margin = %v", e.Margin())
+	}
+	r := RectOf(Pt(1, 2))
+	if got := e.Union(r); got != r {
+		t.Errorf("empty union = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("union empty = %v, want %v", got, r)
+	}
+	if e.Intersects(r) {
+		t.Error("empty rect intersects")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(10, 5)}
+	for _, p := range []Point{Pt(0, 0), Pt(10, 5), Pt(5, 2), Pt(0, 5)} {
+		if !r.Contains(p) {
+			t.Errorf("should contain %v", p)
+		}
+	}
+	for _, p := range []Point{Pt(-1, 0), Pt(11, 0), Pt(5, 6), Pt(5, -0.1)} {
+		if r.Contains(p) {
+			t.Errorf("should not contain %v", p)
+		}
+	}
+}
+
+func TestRectUnionContainsBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("union %v does not contain %v and %v", u, a, b)
+		}
+		if u.Area()+1e-9 < a.Area() || u.Area()+1e-9 < b.Area() {
+			t.Fatalf("union area shrank")
+		}
+	}
+}
+
+func TestRectIntersectsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a, b := randRect(rng), randRect(rng)
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatalf("intersects not symmetric for %v %v", a, b)
+		}
+	}
+}
+
+func TestRectMinDist(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(10, 10)}
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 5), 0},   // inside
+		{Pt(0, 0), 0},   // corner
+		{Pt(-3, 5), 3},  // left
+		{Pt(5, 14), 4},  // above
+		{Pt(13, 14), 5}, // diagonal (3-4-5)
+		{Pt(-3, -4), 5}, // diagonal
+	}
+	for _, tt := range tests {
+		if got := r.MinDist(tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("MinDist(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+// MinDist must lower-bound the distance from the query point to every point
+// inside the rectangle, and be attained by some point of the rectangle.
+func TestRectMinDistIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		r := randRect(rng)
+		q := randPoint(rng)
+		md := r.MinDist(q)
+		for j := 0; j < 50; j++ {
+			inside := Pt(
+				r.Min.X+rng.Float64()*(r.Max.X-r.Min.X),
+				r.Min.Y+rng.Float64()*(r.Max.Y-r.Min.Y),
+			)
+			if q.Dist(inside) < md-1e-9 {
+				t.Fatalf("MinDist %v not a lower bound: point %v at %v", md, inside, q.Dist(inside))
+			}
+		}
+	}
+}
+
+func TestRectMaxDistIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		r := randRect(rng)
+		q := randPoint(rng)
+		xd := r.MaxDist(q)
+		for j := 0; j < 50; j++ {
+			inside := Pt(
+				r.Min.X+rng.Float64()*(r.Max.X-r.Min.X),
+				r.Min.Y+rng.Float64()*(r.Max.Y-r.Min.Y),
+			)
+			if q.Dist(inside) > xd+1e-9 {
+				t.Fatalf("MaxDist %v not an upper bound", xd)
+			}
+		}
+	}
+}
+
+func TestMinDistRoute(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(1, 1)}
+	route := []Point{Pt(5, 0), Pt(3, 0), Pt(0, 9)}
+	if got := r.MinDistRoute(route); math.Abs(got-2) > 1e-12 {
+		t.Errorf("MinDistRoute = %v, want 2", got)
+	}
+	if got := r.MinDistRoute(nil); !math.IsInf(got, 1) {
+		t.Errorf("MinDistRoute(empty) = %v, want +Inf", got)
+	}
+}
+
+func TestRectOfPoints(t *testing.T) {
+	pts := []Point{Pt(3, -1), Pt(0, 4), Pt(-2, 2)}
+	r := RectOfPoints(pts)
+	want := Rect{Min: Pt(-2, -1), Max: Pt(3, 4)}
+	if r != want {
+		t.Errorf("RectOfPoints = %v, want %v", r, want)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("MBR does not contain %v", p)
+		}
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(2, 2)}
+	s := Rect{Min: Pt(1, 1), Max: Pt(3, 3)}
+	// union is (0,0)-(3,3): area 9, r area 4 => enlargement 5
+	if got := r.Enlargement(s); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Enlargement = %v, want 5", got)
+	}
+	inner := Rect{Min: Pt(0.5, 0.5), Max: Pt(1, 1)}
+	if got := r.Enlargement(inner); got != 0 {
+		t.Errorf("Enlargement of contained rect = %v, want 0", got)
+	}
+}
+
+func TestCenterAndCorners(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(4, 2)}
+	if got := r.Center(); got != Pt(2, 1) {
+		t.Errorf("Center = %v", got)
+	}
+	cs := r.Corners()
+	for _, c := range cs {
+		if !r.Contains(c) {
+			t.Errorf("corner %v outside rect", c)
+		}
+	}
+}

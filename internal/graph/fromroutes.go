@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// FromRoutes builds the bus-network graph of Definition 9 from a route
+// collection: one vertex per distinct stop, one Euclidean-weighted edge
+// per consecutive stop pair of any route. The returned map translates
+// stop IDs to graph vertices. Stops appearing in multiple routes (the
+// crossover stops that make transfers possible) become shared vertices,
+// so the graph connects exactly where the network does.
+func FromRoutes(routes []model.Route) (*Graph, map[model.StopID]VertexID, error) {
+	g := New()
+	vertexOf := make(map[model.StopID]VertexID)
+	at := func(stop model.StopID, p geo.Point) VertexID {
+		if v, ok := vertexOf[stop]; ok {
+			return v
+		}
+		v := g.AddVertex(p)
+		vertexOf[stop] = v
+		return v
+	}
+	for _, r := range routes {
+		if len(r.Pts) != len(r.Stops) {
+			return nil, nil, fmt.Errorf("graph: route %d has %d points but %d stops", r.ID, len(r.Pts), len(r.Stops))
+		}
+		for i := range r.Pts {
+			v := at(r.Stops[i], r.Pts[i])
+			if i > 0 {
+				u := vertexOf[r.Stops[i-1]]
+				if u != v {
+					if err := g.AddEdgeEuclidean(u, v); err != nil {
+						return nil, nil, fmt.Errorf("graph: route %d hop %d: %w", r.ID, i, err)
+					}
+				}
+			}
+		}
+	}
+	return g, vertexOf, nil
+}

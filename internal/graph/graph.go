@@ -1,0 +1,249 @@
+// Package graph implements the weighted bus-network graph of Definition 9
+// and the path search primitives the MaxRkNNT planner builds on: Dijkstra,
+// all-pairs shortest distances (per-vertex Dijkstra for sparse networks and
+// Floyd-Warshall for small ones, the variant cited by the paper), Yen's
+// k-shortest loopless paths, and bounded-length simple path enumeration.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// VertexID indexes a vertex in a Graph.
+type VertexID = int32
+
+// Edge is a weighted half-edge.
+type Edge struct {
+	To VertexID
+	W  float64
+}
+
+// Graph is an undirected weighted graph with embedded vertex locations
+// (bus stops). The zero value is an empty graph ready to use.
+type Graph struct {
+	pts []geo.Point
+	adj [][]Edge
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddVertex adds a vertex at p and returns its ID.
+func (g *Graph) AddVertex(p geo.Point) VertexID {
+	g.pts = append(g.pts, p)
+	g.adj = append(g.adj, nil)
+	return VertexID(len(g.pts) - 1)
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.pts) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// Point returns the location of vertex v.
+func (g *Graph) Point(v VertexID) geo.Point { return g.pts[v] }
+
+// Neighbors returns the adjacency list of v. Callers must not modify it.
+func (g *Graph) Neighbors(v VertexID) []Edge { return g.adj[v] }
+
+// AddEdge adds an undirected edge of weight w. Adding an existing edge
+// keeps the smaller weight. Self loops are rejected.
+func (g *Graph) AddEdge(u, v VertexID, w float64) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop on vertex %d", u)
+	}
+	if int(u) >= len(g.pts) || int(v) >= len(g.pts) || u < 0 || v < 0 {
+		return fmt.Errorf("graph: edge (%d,%d) references missing vertex", u, v)
+	}
+	if w < 0 {
+		return fmt.Errorf("graph: negative edge weight %v", w)
+	}
+	g.addHalf(u, v, w)
+	g.addHalf(v, u, w)
+	return nil
+}
+
+func (g *Graph) addHalf(u, v VertexID, w float64) {
+	for i, e := range g.adj[u] {
+		if e.To == v {
+			if w < e.W {
+				g.adj[u][i].W = w
+			}
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+}
+
+// AddEdgeEuclidean adds an undirected edge weighted by the Euclidean
+// distance between the endpoints, the weighting the paper uses.
+func (g *Graph) AddEdgeEuclidean(u, v VertexID) error {
+	return g.AddEdge(u, v, g.pts[u].Dist(g.pts[v]))
+}
+
+// HasEdge reports whether an undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the weight of edge (u, v) and whether it exists.
+func (g *Graph) EdgeWeight(u, v VertexID) (float64, bool) {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return e.W, true
+		}
+	}
+	return 0, false
+}
+
+// PathDist returns the total weight of the vertex path, or an error if an
+// edge is missing.
+func (g *Graph) PathDist(path []VertexID) (float64, error) {
+	var sum float64
+	for i := 1; i < len(path); i++ {
+		w, ok := g.EdgeWeight(path[i-1], path[i])
+		if !ok {
+			return 0, fmt.Errorf("graph: no edge (%d,%d) on path", path[i-1], path[i])
+		}
+		sum += w
+	}
+	return sum, nil
+}
+
+// pqItem is a priority queue element for Dijkstra.
+type pqItem struct {
+	v VertexID
+	d float64
+}
+
+type pq []pqItem
+
+func (h pq) Len() int            { return len(h) }
+func (h pq) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra returns the shortest distance from src to every vertex
+// (+Inf when unreachable) and the predecessor array for path recovery
+// (-1 for src and unreachable vertices).
+func (g *Graph) Dijkstra(src VertexID) (dist []float64, prev []VertexID) {
+	n := len(g.pts)
+	dist = make([]float64, n)
+	prev = make([]VertexID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	h := &pq{{v: src, d: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[it.v] {
+			nd := it.d + e.W
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = it.v
+				heap.Push(h, pqItem{v: e.To, d: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// ShortestPath returns the shortest path from s to t and its length.
+// It returns ok=false when t is unreachable.
+func (g *Graph) ShortestPath(s, t VertexID) (path []VertexID, d float64, ok bool) {
+	dist, prev := g.Dijkstra(s)
+	if math.IsInf(dist[t], 1) {
+		return nil, 0, false
+	}
+	for v := t; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	reverse(path)
+	return path, dist[t], true
+}
+
+func reverse(p []VertexID) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// AllPairs returns the matrix Mψ of Algorithm 5: shortest distances
+// between every vertex pair, computed by one Dijkstra per vertex (the
+// right choice for sparse bus networks).
+func (g *Graph) AllPairs() [][]float64 {
+	n := len(g.pts)
+	m := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		dist, _ := g.Dijkstra(VertexID(v))
+		m[v] = dist
+	}
+	return m
+}
+
+// FloydWarshall returns the all-pairs shortest distance matrix using the
+// O(V^3) dynamic program the paper cites. Prefer AllPairs for sparse
+// graphs; this variant exists for small dense graphs and as a test oracle.
+func (g *Graph) FloydWarshall() [][]float64 {
+	n := len(g.pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = math.Inf(1)
+			}
+		}
+		for _, e := range g.adj[i] {
+			if e.W < d[i][e.To] {
+				d[i][e.To] = e.W
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		dk := d[k]
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			di := d[i]
+			for j := 0; j < n; j++ {
+				if nd := dik + dk[j]; nd < di[j] {
+					di[j] = nd
+				}
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,344 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// diamond builds the classic two-path test graph:
+//
+//	0 --1-- 1 --1-- 3
+//	 \--2-- 2 --2--/
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	for i := 0; i < 4; i++ {
+		g.AddVertex(geo.Pt(float64(i), 0))
+	}
+	for _, e := range []struct {
+		u, v VertexID
+		w    float64
+	}{{0, 1, 1}, {1, 3, 1}, {0, 2, 2}, {2, 3, 2}} {
+		if err := g.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func randGraph(rng *rand.Rand, n int, extraEdges int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(geo.Pt(rng.Float64()*100, rng.Float64()*100))
+	}
+	// Spanning chain guarantees connectivity.
+	for i := 1; i < n; i++ {
+		_ = g.AddEdgeEuclidean(VertexID(i-1), VertexID(i))
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+		if u != v {
+			_ = g.AddEdgeEuclidean(u, v)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	a := g.AddVertex(geo.Pt(0, 0))
+	b := g.AddVertex(geo.Pt(1, 0))
+	if err := g.AddEdge(a, a, 1); err == nil {
+		t.Error("self loop accepted")
+	}
+	if err := g.AddEdge(a, 99, 1); err == nil {
+		t.Error("missing vertex accepted")
+	}
+	if err := g.AddEdge(a, b, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := g.AddEdge(a, b, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding keeps the smaller weight.
+	if err := g.AddEdge(a, b, 3); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.EdgeWeight(a, b); !ok || w != 3 {
+		t.Errorf("EdgeWeight = %v, %v; want 3, true", w, ok)
+	}
+	if err := g.AddEdge(a, b, 10); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := g.EdgeWeight(a, b); w != 3 {
+		t.Errorf("weight grew to %v", w)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	g := diamond(t)
+	dist, prev := g.Dijkstra(0)
+	want := []float64{0, 1, 2, 2}
+	for i, w := range want {
+		if math.Abs(dist[i]-w) > 1e-12 {
+			t.Errorf("dist[%d] = %v, want %v", i, dist[i], w)
+		}
+	}
+	if prev[3] != 1 {
+		t.Errorf("prev[3] = %d, want 1 (via the cheap path)", prev[3])
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := diamond(t)
+	path, d, ok := g.ShortestPath(0, 3)
+	if !ok {
+		t.Fatal("no path found")
+	}
+	if d != 2 {
+		t.Errorf("dist = %v, want 2", d)
+	}
+	want := []VertexID{0, 1, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// Unreachable vertex.
+	iso := g.AddVertex(geo.Pt(50, 50))
+	if _, _, ok := g.ShortestPath(0, iso); ok {
+		t.Error("path to isolated vertex reported")
+	}
+}
+
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 10; trial++ {
+		g := randGraph(rng, 30, 60)
+		ap := g.AllPairs()
+		fw := g.FloydWarshall()
+		for i := range ap {
+			for j := range ap[i] {
+				if math.Abs(ap[i][j]-fw[i][j]) > 1e-9 {
+					t.Fatalf("trial %d: AllPairs[%d][%d]=%v, FloydWarshall=%v",
+						trial, i, j, ap[i][j], fw[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestAllPairsSymmetricAndTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := randGraph(rng, 40, 80)
+	m := g.AllPairs()
+	n := g.NumVertices()
+	for i := 0; i < n; i++ {
+		if m[i][i] != 0 {
+			t.Errorf("m[%d][%d] = %v", i, i, m[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(m[i][j]-m[j][i]) > 1e-9 {
+				t.Errorf("asymmetric: m[%d][%d]=%v m[%d][%d]=%v", i, j, m[i][j], j, i, m[j][i])
+			}
+			for l := 0; l < n; l += 7 {
+				if m[i][j] > m[i][l]+m[l][j]+1e-9 {
+					t.Fatalf("triangle violation %d-%d via %d", i, j, l)
+				}
+			}
+		}
+	}
+}
+
+func TestYenKSPDiamond(t *testing.T) {
+	g := diamond(t)
+	paths := g.YenKSP(0, 3, 5)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (graph has exactly 2 simple paths)", len(paths))
+	}
+	if paths[0].Dist != 2 || paths[1].Dist != 4 {
+		t.Errorf("path dists = %v, %v; want 2, 4", paths[0].Dist, paths[1].Dist)
+	}
+}
+
+func TestYenKSPProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 8; trial++ {
+		g := randGraph(rng, 25, 50)
+		s, tt := VertexID(rng.Intn(25)), VertexID(rng.Intn(25))
+		if s == tt {
+			continue
+		}
+		k := 2 + rng.Intn(6)
+		paths := g.YenKSP(s, tt, k)
+		if len(paths) == 0 {
+			t.Fatal("connected graph but no path")
+		}
+		// First path is the shortest path.
+		_, d, _ := g.ShortestPath(s, tt)
+		if math.Abs(paths[0].Dist-d) > 1e-9 {
+			t.Fatalf("first Yen path %v != shortest %v", paths[0].Dist, d)
+		}
+		seen := map[string]bool{}
+		for i, p := range paths {
+			// Sorted ascending.
+			if i > 0 && p.Dist < paths[i-1].Dist-1e-9 {
+				t.Fatalf("paths not sorted: %v after %v", p.Dist, paths[i-1].Dist)
+			}
+			// Loopless.
+			vs := map[VertexID]bool{}
+			for _, v := range p.Vertices {
+				if vs[v] {
+					t.Fatalf("path %v revisits vertex %d", p.Vertices, v)
+				}
+				vs[v] = true
+			}
+			// Starts and ends correctly; edges exist; dist correct.
+			if p.Vertices[0] != s || p.Vertices[len(p.Vertices)-1] != tt {
+				t.Fatalf("path endpoints wrong: %v", p.Vertices)
+			}
+			pd, err := g.PathDist(p.Vertices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(pd-p.Dist) > 1e-9 {
+				t.Fatalf("reported dist %v, recomputed %v", p.Dist, pd)
+			}
+			// Distinct.
+			key := ""
+			for _, v := range p.Vertices {
+				key += string(rune(v)) + ","
+			}
+			if seen[key] {
+				t.Fatalf("duplicate path %v", p.Vertices)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestPathsWithin(t *testing.T) {
+	g := diamond(t)
+	// tau=2: only the short path.
+	paths := g.PathsWithin(0, 3, 2, 0)
+	if len(paths) != 1 || paths[0].Dist != 2 {
+		t.Fatalf("tau=2: %v", paths)
+	}
+	// tau=4: both paths.
+	paths = g.PathsWithin(0, 3, 4, 0)
+	if len(paths) != 2 {
+		t.Fatalf("tau=4: got %d paths", len(paths))
+	}
+	// tau=1.9: nothing.
+	if got := g.PathsWithin(0, 3, 1.9, 0); len(got) != 0 {
+		t.Fatalf("tau=1.9: %v", got)
+	}
+}
+
+// PathsWithin must agree with Yen's enumeration truncated at tau.
+func TestPathsWithinMatchesYen(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 6; trial++ {
+		g := randGraph(rng, 12, 8)
+		s, tt := VertexID(0), VertexID(11)
+		_, sd, ok := g.ShortestPath(s, tt)
+		if !ok {
+			continue
+		}
+		tau := sd * 1.3
+		within := g.PathsWithin(s, tt, tau, 0)
+		// Validate every enumerated path.
+		for _, p := range within {
+			if p.Dist > tau+1e-9 {
+				t.Fatalf("path %v exceeds tau", p)
+			}
+			if d, err := g.PathDist(p.Vertices); err != nil || math.Abs(d-p.Dist) > 1e-9 {
+				t.Fatalf("bad path dist: %v vs %v (%v)", p.Dist, d, err)
+			}
+		}
+		// Yen with a generous k should find at least as many <= tau.
+		yen := g.YenKSP(s, tt, len(within)+10)
+		yenWithin := 0
+		for _, p := range yen {
+			if p.Dist <= tau+1e-9 {
+				yenWithin++
+			}
+		}
+		if yenWithin != len(within) {
+			t.Fatalf("trial %d: PathsWithin found %d, Yen found %d", trial, len(within), yenWithin)
+		}
+	}
+}
+
+func TestPathsWithinLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	g := randGraph(rng, 15, 30)
+	_, sd, ok := g.ShortestPath(0, 14)
+	if !ok {
+		t.Skip("disconnected")
+	}
+	paths := g.PathsWithin(0, 14, sd*2, 3)
+	if len(paths) > 3 {
+		t.Fatalf("limit ignored: %d paths", len(paths))
+	}
+}
+
+func TestPathDistErrors(t *testing.T) {
+	g := diamond(t)
+	if _, err := g.PathDist([]VertexID{0, 3}); err == nil {
+		t.Error("missing edge not reported")
+	}
+	d, err := g.PathDist([]VertexID{0})
+	if err != nil || d != 0 {
+		t.Errorf("single-vertex path: %v, %v", d, err)
+	}
+}
+
+func TestFromRoutes(t *testing.T) {
+	routes := []model.Route{
+		{ID: 1, Stops: []int32{0, 1, 2}, Pts: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(2, 0)}},
+		{ID: 2, Stops: []int32{1, 3}, Pts: []geo.Point{geo.Pt(1, 0), geo.Pt(1, 1)}},
+	}
+	g, vertexOf, err := FromRoutes(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("vertices = %d, want 4 (stop 1 shared)", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", g.NumEdges())
+	}
+	// Transfer works: stop 0 reaches stop 3 through the shared stop 1.
+	path, d, ok := g.ShortestPath(vertexOf[0], vertexOf[3])
+	if !ok {
+		t.Fatal("no transfer path")
+	}
+	if math.Abs(d-2) > 1e-12 {
+		t.Fatalf("transfer distance %v, want 2", d)
+	}
+	if len(path) != 3 {
+		t.Fatalf("transfer path %v", path)
+	}
+	// Mismatched stops/points rejected.
+	bad := []model.Route{{ID: 9, Stops: []int32{0}, Pts: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 1)}}}
+	if _, _, err := FromRoutes(bad); err == nil {
+		t.Error("mismatched route accepted")
+	}
+	// Repeated identical stop (zero-length hop) is skipped, not an error.
+	loop := []model.Route{{ID: 3, Stops: []int32{5, 5, 6},
+		Pts: []geo.Point{geo.Pt(0, 5), geo.Pt(0, 5), geo.Pt(1, 5)}}}
+	if _, _, err := FromRoutes(loop); err != nil {
+		t.Errorf("zero-length hop rejected: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// randConnected is a quick.Generator for small connected graphs.
+type randConnected struct {
+	g *Graph
+}
+
+func (randConnected) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 4 + r.Intn(20)
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddVertex(geo.Pt(r.Float64()*50, r.Float64()*50))
+	}
+	for i := 1; i < n; i++ {
+		_ = g.AddEdgeEuclidean(VertexID(r.Intn(i)), VertexID(i))
+	}
+	extra := r.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		u, v := VertexID(r.Intn(n)), VertexID(r.Intn(n))
+		if u != v {
+			_ = g.AddEdgeEuclidean(u, v)
+		}
+	}
+	return reflect.ValueOf(randConnected{g})
+}
+
+// Dijkstra distances must satisfy the relaxation fixpoint: for every edge
+// (u, v), dist[v] <= dist[u] + w, and dist is realised by the predecessor
+// chain.
+func TestQuickDijkstraFixpoint(t *testing.T) {
+	check := func(rc randConnected) bool {
+		g := rc.g
+		dist, prev := g.Dijkstra(0)
+		for u := 0; u < g.NumVertices(); u++ {
+			for _, e := range g.Neighbors(VertexID(u)) {
+				if dist[e.To] > dist[u]+e.W+1e-9 {
+					t.Logf("edge (%d,%d) violates relaxation", u, e.To)
+					return false
+				}
+			}
+		}
+		for v := 1; v < g.NumVertices(); v++ {
+			if math.IsInf(dist[v], 1) {
+				t.Logf("vertex %d unreachable in connected graph", v)
+				return false
+			}
+			// Distance via predecessor chain must match.
+			total := 0.0
+			for u := VertexID(v); prev[u] != -1; u = prev[u] {
+				w, ok := g.EdgeWeight(u, prev[u])
+				if !ok {
+					t.Logf("predecessor edge missing at %d", u)
+					return false
+				}
+				total += w
+			}
+			if math.Abs(total-dist[v]) > 1e-9 {
+				t.Logf("vertex %d: chain %v, dist %v", v, total, dist[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Yen's second-and-later paths can never be shorter than Dijkstra's.
+func TestQuickYenLowerBounded(t *testing.T) {
+	check := func(rc randConnected, sRaw, eRaw uint8) bool {
+		g := rc.g
+		n := g.NumVertices()
+		s, e := VertexID(int(sRaw)%n), VertexID(int(eRaw)%n)
+		if s == e {
+			return true
+		}
+		_, sd, ok := g.ShortestPath(s, e)
+		if !ok {
+			return true
+		}
+		for _, p := range g.YenKSP(s, e, 4) {
+			if p.Dist < sd-1e-9 {
+				t.Logf("Yen path shorter than shortest: %v < %v", p.Dist, sd)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every path returned by PathsWithin must be simple, within tau, and
+// composed of real edges; and the shortest path must always be among them.
+func TestQuickPathsWithinSound(t *testing.T) {
+	check := func(rc randConnected, sRaw, eRaw uint8) bool {
+		g := rc.g
+		n := g.NumVertices()
+		s, e := VertexID(int(sRaw)%n), VertexID(int(eRaw)%n)
+		if s == e {
+			return true
+		}
+		sp, sd, ok := g.ShortestPath(s, e)
+		if !ok {
+			return true
+		}
+		tau := sd * 1.2
+		paths := g.PathsWithin(s, e, tau, 200)
+		foundShortest := false
+		for _, p := range paths {
+			if p.Dist > tau+1e-9 {
+				t.Logf("path exceeds tau")
+				return false
+			}
+			if d, err := g.PathDist(p.Vertices); err != nil || math.Abs(d-p.Dist) > 1e-9 {
+				t.Logf("path dist mismatch: %v", err)
+				return false
+			}
+			seen := map[VertexID]bool{}
+			for _, v := range p.Vertices {
+				if seen[v] {
+					t.Logf("non-simple path")
+					return false
+				}
+				seen[v] = true
+			}
+			if len(p.Vertices) == len(sp) && math.Abs(p.Dist-sd) < 1e-9 {
+				foundShortest = true
+			}
+		}
+		if len(paths) < 200 && !foundShortest {
+			// The enumeration was not truncated, so the shortest path (or
+			// an equal-length sibling) must appear.
+			for _, p := range paths {
+				if math.Abs(p.Dist-sd) < 1e-9 {
+					foundShortest = true
+				}
+			}
+			if !foundShortest {
+				t.Logf("shortest path missing from enumeration")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

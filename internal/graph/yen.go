@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Path is a vertex sequence with its total weight.
+type Path struct {
+	Vertices []VertexID
+	Dist     float64
+}
+
+// YenKSP returns up to k shortest loopless paths from s to t in ascending
+// length order (Yen 1971), the algorithm behind the paper's BruteForce
+// MaxRkNNT baseline. Fewer than k paths are returned when the graph does
+// not contain k distinct simple paths.
+func (g *Graph) YenKSP(s, t VertexID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, d, ok := g.shortestPathMasked(s, t, nil, nil)
+	if !ok {
+		return nil
+	}
+	paths := []Path{{Vertices: first, Dist: d}}
+	var candidates []Path
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1].Vertices
+		// Each vertex of the previous path except the last is a spur node.
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			rootPath := prev[:i+1]
+			rootDist, err := g.PathDist(rootPath)
+			if err != nil {
+				continue
+			}
+			// Mask edges that would recreate an already accepted path
+			// sharing this root, plus the root vertices (except spur).
+			edgeMask := make(map[[2]VertexID]bool)
+			for _, p := range paths {
+				if len(p.Vertices) > i && samePrefix(p.Vertices, rootPath) {
+					edgeMask[[2]VertexID{p.Vertices[i], p.Vertices[i+1]}] = true
+					edgeMask[[2]VertexID{p.Vertices[i+1], p.Vertices[i]}] = true
+				}
+			}
+			vertexMask := make(map[VertexID]bool)
+			for _, v := range rootPath[:i] {
+				vertexMask[v] = true
+			}
+			spurPath, spurDist, ok := g.shortestPathMasked(spur, t, vertexMask, edgeMask)
+			if !ok {
+				continue
+			}
+			total := append(append([]VertexID(nil), rootPath...), spurPath[1:]...)
+			cand := Path{Vertices: total, Dist: rootDist + spurDist}
+			if !containsPath(candidates, cand) && !containsPath(paths, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Dist < candidates[b].Dist })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func samePrefix(p, prefix []VertexID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, q Path) bool {
+	for _, p := range ps {
+		if len(p.Vertices) != len(q.Vertices) {
+			continue
+		}
+		same := true
+		for i := range p.Vertices {
+			if p.Vertices[i] != q.Vertices[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// shortestPathMasked is Dijkstra avoiding masked vertices and edges.
+func (g *Graph) shortestPathMasked(s, t VertexID, vmask map[VertexID]bool, emask map[[2]VertexID]bool) ([]VertexID, float64, bool) {
+	n := len(g.pts)
+	dist := make([]float64, n)
+	prev := make([]VertexID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	if vmask[s] || vmask[t] {
+		return nil, 0, false
+	}
+	dist[s] = 0
+	h := &pq{{v: s, d: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		if it.v == t {
+			break
+		}
+		for _, e := range g.adj[it.v] {
+			if vmask[e.To] || emask[[2]VertexID{it.v, e.To}] {
+				continue
+			}
+			nd := it.d + e.W
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = it.v
+				heap.Push(h, pqItem{v: e.To, d: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[t], 1) {
+		return nil, 0, false
+	}
+	var path []VertexID
+	for v := t; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	reverse(path)
+	return path, dist[t], true
+}
+
+// PathsWithin enumerates every simple path from s to t with total weight
+// at most tau, in no particular order, up to the limit (0 = unlimited).
+// Branches are pruned with the exact remaining-distance lower bound from a
+// Dijkstra rooted at t; the enumeration is exponential in the worst case,
+// which is precisely why the paper's BruteForce baseline degrades.
+func (g *Graph) PathsWithin(s, t VertexID, tau float64, limit int) []Path {
+	distToT, _ := g.Dijkstra(t)
+	if distToT[s] > tau {
+		return nil
+	}
+	var out []Path
+	onPath := make([]bool, len(g.pts))
+	var cur []VertexID
+	var walk func(v VertexID, acc float64)
+	walk = func(v VertexID, acc float64) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		cur = append(cur, v)
+		onPath[v] = true
+		if v == t {
+			out = append(out, Path{Vertices: append([]VertexID(nil), cur...), Dist: acc})
+		} else {
+			for _, e := range g.adj[v] {
+				if onPath[e.To] {
+					continue
+				}
+				nd := acc + e.W
+				if nd+distToT[e.To] > tau {
+					continue
+				}
+				walk(e.To, nd)
+			}
+		}
+		onPath[v] = false
+		cur = cur[:len(cur)-1]
+	}
+	walk(s, 0)
+	return out
+}

@@ -1,0 +1,252 @@
+// Package gtfs loads route datasets from GTFS feeds — the format the
+// paper's NYC and LA bus networks were extracted from. Only the four
+// files needed to reconstruct route geometries are read: stops.txt,
+// routes.txt, trips.txt and stop_times.txt.
+//
+// Each GTFS route is reduced to one representative stop sequence (the
+// trip with the most stops, as a proxy for the full-service pattern), and
+// stop coordinates are projected from WGS84 to planar kilometres around
+// the feed centroid, matching the coordinate convention of the rest of
+// the library.
+package gtfs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"strconv"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// Feed is a loaded GTFS feed reduced to the RkNNT data model.
+type Feed struct {
+	// Routes are the representative route geometries, with dense stop IDs
+	// and planar coordinates; ready for index.Build.
+	Routes []model.Route
+	// StopNames maps the dense stop ID back to the GTFS stop_id.
+	StopNames []string
+	// StopPts holds the projected location of every referenced stop,
+	// indexed by dense stop ID.
+	StopPts []geo.Point
+	// RouteNames maps model route IDs (1-based index) to GTFS route_ids.
+	RouteNames []string
+	// Projection converts between WGS84 and the feed's planar frame.
+	Projection *geo.Projection
+}
+
+// Load reads a GTFS feed from the filesystem (a directory with stops.txt
+// etc.; use os.DirFS for a path, or fstest.MapFS in tests).
+func Load(fsys fs.FS) (*Feed, error) {
+	stops, err := readStops(fsys)
+	if err != nil {
+		return nil, err
+	}
+	routeIDs, err := readRoutes(fsys)
+	if err != nil {
+		return nil, err
+	}
+	tripRoute, err := readTrips(fsys)
+	if err != nil {
+		return nil, err
+	}
+	tripStops, err := readStopTimes(fsys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Representative trip per route: the one with the most stops;
+	// ties broken by trip ID for determinism.
+	repTrip := make(map[string]string)
+	for trip, seq := range tripStops {
+		route, ok := tripRoute[trip]
+		if !ok {
+			continue // trip references an unknown route; skip
+		}
+		cur, ok := repTrip[route]
+		if !ok || len(seq) > len(tripStops[cur]) ||
+			(len(seq) == len(tripStops[cur]) && trip < cur) {
+			repTrip[route] = trip
+		}
+	}
+
+	// Project around the centroid of all stops.
+	var latSum, lonSum float64
+	for _, s := range stops {
+		latSum += s.lat
+		lonSum += s.lon
+	}
+	if len(stops) == 0 {
+		return nil, fmt.Errorf("gtfs: no stops")
+	}
+	proj := geo.NewProjection(latSum/float64(len(stops)), lonSum/float64(len(stops)))
+
+	feed := &Feed{Projection: proj}
+	denseStop := make(map[string]model.StopID)
+	stopID := func(gtfsID string) (model.StopID, error) {
+		if id, ok := denseStop[gtfsID]; ok {
+			return id, nil
+		}
+		s, ok := stops[gtfsID]
+		if !ok {
+			return 0, fmt.Errorf("gtfs: stop_times references unknown stop %q", gtfsID)
+		}
+		id := model.StopID(len(feed.StopPts))
+		denseStop[gtfsID] = id
+		feed.StopPts = append(feed.StopPts, proj.Project(s.lat, s.lon))
+		feed.StopNames = append(feed.StopNames, gtfsID)
+		return id, nil
+	}
+
+	// Deterministic route order.
+	sort.Strings(routeIDs)
+	for _, gtfsRoute := range routeIDs {
+		trip, ok := repTrip[gtfsRoute]
+		if !ok {
+			continue // route without trips
+		}
+		seq := tripStops[trip]
+		if len(seq) < 2 {
+			continue // degenerate trip
+		}
+		route := model.Route{ID: model.RouteID(len(feed.Routes) + 1)}
+		for _, sv := range seq {
+			id, err := stopID(sv.stop)
+			if err != nil {
+				return nil, err
+			}
+			route.Stops = append(route.Stops, id)
+			route.Pts = append(route.Pts, feed.StopPts[id])
+		}
+		feed.Routes = append(feed.Routes, route)
+		feed.RouteNames = append(feed.RouteNames, gtfsRoute)
+	}
+	if len(feed.Routes) == 0 {
+		return nil, fmt.Errorf("gtfs: feed contains no usable routes")
+	}
+	return feed, nil
+}
+
+type stopRec struct {
+	lat, lon float64
+}
+
+func readCSVFile(fsys fs.FS, name string, required []string, fn func(get func(string) string) error) error {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return fmt.Errorf("gtfs: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1 // GTFS files commonly have ragged optional columns
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("gtfs: %s: reading header: %w", name, err)
+	}
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[trimBOM(h)] = i
+	}
+	for _, req := range required {
+		if _, ok := col[req]; !ok {
+			return fmt.Errorf("gtfs: %s: missing required column %q", name, req)
+		}
+	}
+	line := 1
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("gtfs: %s line %d: %w", name, line+1, err)
+		}
+		line++
+		get := func(c string) string {
+			i, ok := col[c]
+			if !ok || i >= len(rec) {
+				return ""
+			}
+			return rec[i]
+		}
+		if err := fn(get); err != nil {
+			return fmt.Errorf("gtfs: %s line %d: %w", name, line, err)
+		}
+	}
+}
+
+func trimBOM(s string) string {
+	if len(s) >= 3 && s[0] == 0xEF && s[1] == 0xBB && s[2] == 0xBF {
+		return s[3:]
+	}
+	return s
+}
+
+func readStops(fsys fs.FS) (map[string]stopRec, error) {
+	out := make(map[string]stopRec)
+	err := readCSVFile(fsys, "stops.txt", []string{"stop_id", "stop_lat", "stop_lon"}, func(get func(string) string) error {
+		lat, err1 := strconv.ParseFloat(get("stop_lat"), 64)
+		lon, err2 := strconv.ParseFloat(get("stop_lon"), 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad coordinates for stop %q", get("stop_id"))
+		}
+		out[get("stop_id")] = stopRec{lat: lat, lon: lon}
+		return nil
+	})
+	return out, err
+}
+
+func readRoutes(fsys fs.FS) ([]string, error) {
+	var out []string
+	err := readCSVFile(fsys, "routes.txt", []string{"route_id"}, func(get func(string) string) error {
+		out = append(out, get("route_id"))
+		return nil
+	})
+	return out, err
+}
+
+func readTrips(fsys fs.FS) (map[string]string, error) {
+	out := make(map[string]string)
+	err := readCSVFile(fsys, "trips.txt", []string{"route_id", "trip_id"}, func(get func(string) string) error {
+		out[get("trip_id")] = get("route_id")
+		return nil
+	})
+	return out, err
+}
+
+type seqStop struct {
+	seq  int
+	stop string
+}
+
+func readStopTimes(fsys fs.FS) (map[string][]seqStop, error) {
+	out := make(map[string][]seqStop)
+	err := readCSVFile(fsys, "stop_times.txt", []string{"trip_id", "stop_id", "stop_sequence"}, func(get func(string) string) error {
+		seq, err := strconv.Atoi(get("stop_sequence"))
+		if err != nil {
+			return fmt.Errorf("bad stop_sequence %q", get("stop_sequence"))
+		}
+		trip := get("trip_id")
+		out[trip] = append(out[trip], seqStop{seq: seq, stop: get("stop_id")})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for trip, stops := range out {
+		sort.Slice(stops, func(i, j int) bool { return stops[i].seq < stops[j].seq })
+		// Drop consecutive duplicates (some feeds repeat stops at timepoints).
+		dedup := stops[:0]
+		for i, s := range stops {
+			if i > 0 && dedup[len(dedup)-1].stop == s.stop {
+				continue
+			}
+			dedup = append(dedup, s)
+		}
+		out[trip] = dedup
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package gtfs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// feedFS builds an in-memory GTFS feed around central Melbourne-ish
+// coordinates: two routes, one with two trips of different lengths.
+func feedFS() fstest.MapFS {
+	return fstest.MapFS{
+		"stops.txt": &fstest.MapFile{Data: []byte(
+			"stop_id,stop_name,stop_lat,stop_lon\n" +
+				"A,Alpha,-37.8100,144.9600\n" +
+				"B,Bravo,-37.8110,144.9700\n" +
+				"C,Charlie,-37.8120,144.9800\n" +
+				"D,Delta,-37.8200,144.9650\n")},
+		"routes.txt": &fstest.MapFile{Data: []byte(
+			"route_id,route_short_name\n" +
+				"R2,Two\n" +
+				"R1,One\n")},
+		"trips.txt": &fstest.MapFile{Data: []byte(
+			"route_id,service_id,trip_id\n" +
+				"R1,wk,T1a\n" +
+				"R1,wk,T1b\n" +
+				"R2,wk,T2\n")},
+		"stop_times.txt": &fstest.MapFile{Data: []byte(
+			"trip_id,arrival_time,departure_time,stop_id,stop_sequence\n" +
+				"T1a,08:00:00,08:00:00,A,1\n" +
+				"T1a,08:05:00,08:05:00,B,2\n" +
+				"T1b,09:00:00,09:00:00,A,1\n" +
+				"T1b,09:05:00,09:05:00,B,2\n" +
+				"T1b,09:10:00,09:10:00,C,3\n" +
+				"T2,08:00:00,08:00:00,D,1\n" +
+				"T2,08:04:00,08:04:00,B,2\n" +
+				"T2,08:04:00,08:04:00,B,3\n" + // duplicate timepoint row
+				"T2,08:09:00,08:09:00,A,4\n")},
+	}
+}
+
+func TestLoad(t *testing.T) {
+	feed, err := Load(feedFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Routes) != 2 {
+		t.Fatalf("got %d routes, want 2", len(feed.Routes))
+	}
+	// Routes sorted by GTFS route_id: R1 then R2.
+	if feed.RouteNames[0] != "R1" || feed.RouteNames[1] != "R2" {
+		t.Fatalf("route names %v", feed.RouteNames)
+	}
+	// R1's representative trip is T1b (3 stops > 2).
+	if got := len(feed.Routes[0].Pts); got != 3 {
+		t.Fatalf("R1 has %d stops, want 3 (longest trip)", got)
+	}
+	// R2's duplicate stop row is dropped: D, B, A.
+	if got := len(feed.Routes[1].Pts); got != 3 {
+		t.Fatalf("R2 has %d stops, want 3 (duplicate dropped)", got)
+	}
+	// Shared stops share dense IDs: R1 and R2 both visit A and B.
+	r1Stops := map[model.StopID]bool{}
+	for _, s := range feed.Routes[0].Stops {
+		r1Stops[s] = true
+	}
+	shared := 0
+	for _, s := range feed.Routes[1].Stops {
+		if r1Stops[s] {
+			shared++
+		}
+	}
+	if shared != 2 {
+		t.Fatalf("routes share %d stops, want 2 (A and B)", shared)
+	}
+	// Projected geometry: A and B are ~0.88 km apart (0.01 deg lon at
+	// -37.8 latitude).
+	a, b := feed.Routes[0].Pts[0], feed.Routes[0].Pts[1]
+	if d := a.Dist(b); math.Abs(d-0.88) > 0.05 {
+		t.Fatalf("A-B distance %.3f km, want ~0.88", d)
+	}
+	// The result indexes cleanly.
+	if _, err := index.Build(&model.Dataset{Routes: feed.Routes}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRoundTripProjection(t *testing.T) {
+	feed, err := Load(feedFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, lon := feed.Projection.Unproject(feed.StopPts[0])
+	back := feed.Projection.Project(lat, lon)
+	if back.Dist(feed.StopPts[0]) > 1e-9 {
+		t.Fatalf("projection round trip drifted: %v vs %v", back, feed.StopPts[0])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	base := feedFS()
+
+	missing := fstest.MapFS{}
+	for k, v := range base {
+		missing[k] = v
+	}
+	delete(missing, "stops.txt")
+	if _, err := Load(missing); err == nil {
+		t.Error("missing stops.txt accepted")
+	}
+
+	badCol := fstest.MapFS{}
+	for k, v := range base {
+		badCol[k] = v
+	}
+	badCol["stops.txt"] = &fstest.MapFile{Data: []byte("stop_id,stop_name\nA,Alpha\n")}
+	if _, err := Load(badCol); err == nil {
+		t.Error("stops.txt without coordinates accepted")
+	}
+
+	badCoord := fstest.MapFS{}
+	for k, v := range base {
+		badCoord[k] = v
+	}
+	badCoord["stops.txt"] = &fstest.MapFile{Data: []byte("stop_id,stop_lat,stop_lon\nA,x,y\n")}
+	if _, err := Load(badCoord); err == nil {
+		t.Error("unparseable coordinates accepted")
+	}
+
+	unknownStop := fstest.MapFS{}
+	for k, v := range base {
+		unknownStop[k] = v
+	}
+	unknownStop["stop_times.txt"] = &fstest.MapFile{Data: []byte(
+		"trip_id,stop_id,stop_sequence\nT1a,GHOST,1\nT1a,B,2\n")}
+	if _, err := Load(unknownStop); err == nil || !strings.Contains(err.Error(), "unknown stop") {
+		t.Errorf("unknown stop not reported: %v", err)
+	}
+}
+
+func TestLoadBOMHeader(t *testing.T) {
+	withBOM := fstest.MapFS{}
+	for k, v := range feedFS() {
+		withBOM[k] = v
+	}
+	withBOM["routes.txt"] = &fstest.MapFile{Data: append([]byte{0xEF, 0xBB, 0xBF},
+		[]byte("route_id\nR1\nR2\n")...)}
+	if _, err := Load(withBOM); err != nil {
+		t.Fatalf("BOM-prefixed header rejected: %v", err)
+	}
+}
+
+func TestLoadSkipsDegenerateTrips(t *testing.T) {
+	short := feedFS()
+	short["stop_times.txt"] = &fstest.MapFile{Data: []byte(
+		"trip_id,stop_id,stop_sequence\n" +
+			"T1a,A,1\n" + // single-stop trip: unusable
+			"T2,D,1\nT2,B,2\n")}
+	feed, err := Load(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Routes) != 1 || feed.RouteNames[0] != "R2" {
+		t.Fatalf("expected only R2 to survive, got %v", feed.RouteNames)
+	}
+}

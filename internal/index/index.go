@@ -1,0 +1,291 @@
+// Package index implements the index structures of Section 4.1.2 of the
+// paper: the RR-tree over route points, the TR-tree over transition
+// endpoints, the PList (inverted list from stop to covering routes, i.e.
+// the crossover route set of Definition 7) and the NList (R-tree node to
+// the set of route IDs stored beneath it).
+//
+// The indexes support dynamic updates: routes and transitions can be added
+// and removed at any time, which is the paper's motivating scenario of
+// continuously arriving passenger transitions.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/rtree"
+)
+
+// Endpoint roles stored in the Aux field of TR-tree entries.
+const (
+	Origin      = 0
+	Destination = 1
+)
+
+// Index bundles the RR-tree, TR-tree, PList and NList over one dataset.
+type Index struct {
+	rr *rtree.Tree // route points; ID = route, Aux = stop
+	tr *rtree.Tree // transition endpoints; ID = transition, Aux = role
+
+	routes      map[model.RouteID]*model.Route
+	transitions map[model.TransitionID]*model.Transition
+
+	// plist maps a stop to the sorted set of routes covering it.
+	plist map[model.StopID][]model.RouteID
+
+	// nlist caches, per RR-tree node, the sorted set of route IDs under
+	// the node. It is rebuilt lazily whenever the RR-tree changes. The
+	// mutex makes the lazy rebuild safe under concurrent queries; updates
+	// to the index itself still require external synchronisation.
+	nlistMu  sync.Mutex
+	nlist    map[*rtree.Node][]model.RouteID
+	nlistGen uint64
+}
+
+// Build constructs the index over the dataset using bulk loading.
+// The dataset is not retained; routes and transitions are copied.
+func Build(ds *model.Dataset) (*Index, error) {
+	x := &Index{
+		routes:      make(map[model.RouteID]*model.Route, len(ds.Routes)),
+		transitions: make(map[model.TransitionID]*model.Transition, len(ds.Transitions)),
+		plist:       make(map[model.StopID][]model.RouteID),
+	}
+	var rrEntries, trEntries []rtree.Entry
+	for i := range ds.Routes {
+		r := ds.Routes[i]
+		if err := validateRoute(&r); err != nil {
+			return nil, err
+		}
+		if _, dup := x.routes[r.ID]; dup {
+			return nil, fmt.Errorf("index: duplicate route ID %d", r.ID)
+		}
+		cp := copyRoute(&r)
+		x.routes[r.ID] = cp
+		for j, p := range cp.Pts {
+			rrEntries = append(rrEntries, rtree.Entry{Pt: p, ID: cp.ID, Aux: cp.Stops[j]})
+			x.addToPList(cp.Stops[j], cp.ID)
+		}
+	}
+	for i := range ds.Transitions {
+		tr := ds.Transitions[i]
+		if _, dup := x.transitions[tr.ID]; dup {
+			return nil, fmt.Errorf("index: duplicate transition ID %d", tr.ID)
+		}
+		cp := tr
+		x.transitions[tr.ID] = &cp
+		trEntries = append(trEntries,
+			rtree.Entry{Pt: tr.O, ID: tr.ID, Aux: Origin},
+			rtree.Entry{Pt: tr.D, ID: tr.ID, Aux: Destination})
+	}
+	x.rr = rtree.BulkLoad(rrEntries)
+	x.tr = rtree.BulkLoad(trEntries)
+	return x, nil
+}
+
+func validateRoute(r *model.Route) error {
+	if len(r.Pts) < 2 {
+		return fmt.Errorf("index: route %d has %d points, need at least 2 (Definition 1)", r.ID, len(r.Pts))
+	}
+	if len(r.Pts) != len(r.Stops) {
+		return fmt.Errorf("index: route %d has %d points but %d stop IDs", r.ID, len(r.Pts), len(r.Stops))
+	}
+	return nil
+}
+
+func copyRoute(r *model.Route) *model.Route {
+	return &model.Route{
+		ID:    r.ID,
+		Stops: append([]model.StopID(nil), r.Stops...),
+		Pts:   append([]geo.Point(nil), r.Pts...),
+	}
+}
+
+// RouteTree returns the RR-tree.
+func (x *Index) RouteTree() *rtree.Tree { return x.rr }
+
+// TransitionTree returns the TR-tree.
+func (x *Index) TransitionTree() *rtree.Tree { return x.tr }
+
+// Route returns the route with the given ID, or nil.
+func (x *Index) Route(id model.RouteID) *model.Route { return x.routes[id] }
+
+// Transition returns the transition with the given ID, or nil.
+func (x *Index) Transition(id model.TransitionID) *model.Transition {
+	return x.transitions[id]
+}
+
+// NumRoutes returns the number of indexed routes.
+func (x *Index) NumRoutes() int { return len(x.routes) }
+
+// NumTransitions returns the number of indexed transitions.
+func (x *Index) NumTransitions() int { return len(x.transitions) }
+
+// Routes calls fn for every indexed route until fn returns false.
+func (x *Index) Routes(fn func(*model.Route) bool) {
+	for _, r := range x.routes {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Transitions calls fn for every indexed transition until fn returns false.
+func (x *Index) Transitions(fn func(*model.Transition) bool) {
+	for _, t := range x.transitions {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Crossover returns C(stop): the sorted set of routes covering the stop
+// (Definition 7), backed by the PList.
+func (x *Index) Crossover(stop model.StopID) []model.RouteID {
+	return x.plist[stop]
+}
+
+func (x *Index) addToPList(stop model.StopID, route model.RouteID) {
+	lst := x.plist[stop]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= route })
+	if i < len(lst) && lst[i] == route {
+		return
+	}
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = route
+	x.plist[stop] = lst
+}
+
+func (x *Index) removeFromPList(stop model.StopID, route model.RouteID) {
+	lst := x.plist[stop]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= route })
+	if i < len(lst) && lst[i] == route {
+		lst = append(lst[:i], lst[i+1:]...)
+		if len(lst) == 0 {
+			delete(x.plist, stop)
+		} else {
+			x.plist[stop] = lst
+		}
+	}
+}
+
+// AddRoute indexes a new route dynamically.
+func (x *Index) AddRoute(r model.Route) error {
+	if err := validateRoute(&r); err != nil {
+		return err
+	}
+	if _, dup := x.routes[r.ID]; dup {
+		return fmt.Errorf("index: duplicate route ID %d", r.ID)
+	}
+	cp := copyRoute(&r)
+	x.routes[r.ID] = cp
+	for j, p := range cp.Pts {
+		x.rr.Insert(rtree.Entry{Pt: p, ID: cp.ID, Aux: cp.Stops[j]})
+		x.addToPList(cp.Stops[j], cp.ID)
+	}
+	return nil
+}
+
+// RemoveRoute removes a route and all its points from the index. It
+// reports whether the route was present.
+func (x *Index) RemoveRoute(id model.RouteID) bool {
+	r, ok := x.routes[id]
+	if !ok {
+		return false
+	}
+	for j, p := range r.Pts {
+		x.rr.Delete(rtree.Entry{Pt: p, ID: r.ID, Aux: r.Stops[j]})
+		x.removeFromPList(r.Stops[j], r.ID)
+	}
+	delete(x.routes, id)
+	return true
+}
+
+// AddTransition indexes a new transition dynamically.
+func (x *Index) AddTransition(t model.Transition) error {
+	if _, dup := x.transitions[t.ID]; dup {
+		return fmt.Errorf("index: duplicate transition ID %d", t.ID)
+	}
+	cp := t
+	x.transitions[t.ID] = &cp
+	x.tr.Insert(rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin})
+	x.tr.Insert(rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
+	return nil
+}
+
+// RemoveTransition removes a transition from the index. It reports whether
+// the transition was present.
+func (x *Index) RemoveTransition(id model.TransitionID) bool {
+	t, ok := x.transitions[id]
+	if !ok {
+		return false
+	}
+	x.tr.Delete(rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin})
+	x.tr.Delete(rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
+	delete(x.transitions, id)
+	return true
+}
+
+// ExpireTransitionsBefore removes every transition with a timestamp
+// strictly before cutoff and returns how many were removed. Untimed
+// transitions (Time == 0) are kept. This implements the sliding-window
+// maintenance the paper motivates ("old transitions expire and new
+// transitions arrive").
+func (x *Index) ExpireTransitionsBefore(cutoff int64) int {
+	var victims []model.TransitionID
+	for id, t := range x.transitions {
+		if t.Time != 0 && t.Time < cutoff {
+			victims = append(victims, id)
+		}
+	}
+	for _, id := range victims {
+		x.RemoveTransition(id)
+	}
+	return len(victims)
+}
+
+// NList returns the sorted set of route IDs that have at least one point
+// beneath the given RR-tree node (Section 4.1.2). The lists for the whole
+// tree are built bottom-up on first use and cached until the RR-tree
+// changes. NList is safe to call from concurrent queries; the returned
+// slice must not be modified.
+func (x *Index) NList(n *rtree.Node) []model.RouteID {
+	x.nlistMu.Lock()
+	if x.nlist == nil || x.nlistGen != x.rr.Generation() {
+		x.rebuildNList()
+	}
+	lst := x.nlist[n]
+	x.nlistMu.Unlock()
+	return lst
+}
+
+func (x *Index) rebuildNList() {
+	x.nlist = make(map[*rtree.Node][]model.RouteID)
+	x.nlistGen = x.rr.Generation()
+	var walk func(n *rtree.Node) []model.RouteID
+	walk = func(n *rtree.Node) []model.RouteID {
+		set := make(map[model.RouteID]struct{})
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				set[e.ID] = struct{}{}
+			}
+		} else {
+			for _, c := range n.Children() {
+				for _, id := range walk(c) {
+					set[id] = struct{}{}
+				}
+			}
+		}
+		ids := make([]model.RouteID, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		x.nlist[n] = ids
+		return ids
+	}
+	walk(x.rr.Root())
+}

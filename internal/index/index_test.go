@@ -1,0 +1,379 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/rtree"
+)
+
+// testDataset builds a small dataset with deliberately shared stops so the
+// PList has non-trivial crossover sets.
+func testDataset() *model.Dataset {
+	// Stops 0..5 on a line; routes share stops 2 and 3.
+	stops := []geo.Point{
+		geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(2, 0),
+		geo.Pt(3, 0), geo.Pt(4, 0), geo.Pt(5, 0),
+	}
+	return &model.Dataset{
+		Routes: []model.Route{
+			{ID: 1, Stops: []int32{0, 1, 2, 3}, Pts: []geo.Point{stops[0], stops[1], stops[2], stops[3]}},
+			{ID: 2, Stops: []int32{2, 3, 4}, Pts: []geo.Point{stops[2], stops[3], stops[4]}},
+			{ID: 3, Stops: []int32{3, 5}, Pts: []geo.Point{stops[3], stops[5]}},
+		},
+		Transitions: []model.Transition{
+			{ID: 10, O: geo.Pt(0.1, 0.1), D: geo.Pt(2.9, 0.1)},
+			{ID: 11, O: geo.Pt(4.1, -0.1), D: geo.Pt(5.1, 0.2), Time: 100},
+			{ID: 12, O: geo.Pt(2.5, 0.5), D: geo.Pt(3.5, 0.5), Time: 200},
+		},
+	}
+}
+
+func TestBuild(t *testing.T) {
+	x, err := Build(testDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumRoutes() != 3 {
+		t.Errorf("NumRoutes = %d", x.NumRoutes())
+	}
+	if x.NumTransitions() != 3 {
+		t.Errorf("NumTransitions = %d", x.NumTransitions())
+	}
+	if got := x.RouteTree().Len(); got != 4+3+2 {
+		t.Errorf("RR-tree has %d entries, want 9", got)
+	}
+	if got := x.TransitionTree().Len(); got != 6 {
+		t.Errorf("TR-tree has %d entries, want 6", got)
+	}
+	if r := x.Route(2); r == nil || r.Len() != 3 {
+		t.Errorf("Route(2) = %v", r)
+	}
+	if tr := x.Transition(11); tr == nil || tr.Time != 100 {
+		t.Errorf("Transition(11) = %v", tr)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	_, err := Build(&model.Dataset{Routes: []model.Route{{ID: 1, Stops: []int32{0}, Pts: []geo.Point{geo.Pt(0, 0)}}}})
+	if err == nil {
+		t.Error("single-point route accepted")
+	}
+	_, err = Build(&model.Dataset{Routes: []model.Route{
+		{ID: 1, Stops: []int32{0, 1}, Pts: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}},
+		{ID: 1, Stops: []int32{0, 1}, Pts: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}},
+	}})
+	if err == nil {
+		t.Error("duplicate route ID accepted")
+	}
+	_, err = Build(&model.Dataset{
+		Routes: []model.Route{{ID: 1, Stops: []int32{0, 1, 2}, Pts: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}}},
+	})
+	if err == nil {
+		t.Error("stop/point length mismatch accepted")
+	}
+	_, err = Build(&model.Dataset{Transitions: []model.Transition{{ID: 5}, {ID: 5}}})
+	if err == nil {
+		t.Error("duplicate transition ID accepted")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	x, err := Build(testDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		stop int32
+		want []int32
+	}{
+		{0, []int32{1}},
+		{2, []int32{1, 2}},
+		{3, []int32{1, 2, 3}},
+		{5, []int32{3}},
+		{99, nil},
+	}
+	for _, tt := range tests {
+		got := x.Crossover(tt.stop)
+		if len(got) != len(tt.want) {
+			t.Errorf("Crossover(%d) = %v, want %v", tt.stop, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Crossover(%d) = %v, want %v", tt.stop, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestDynamicRoutes(t *testing.T) {
+	x, err := Build(testDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRoute := model.Route{ID: 4, Stops: []int32{3, 0}, Pts: []geo.Point{geo.Pt(3, 0), geo.Pt(0, 0)}}
+	if err := x.AddRoute(newRoute); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddRoute(newRoute); err == nil {
+		t.Error("duplicate AddRoute accepted")
+	}
+	got := x.Crossover(3)
+	want := []int32{1, 2, 3, 4}
+	if !equalIDs(got, want) {
+		t.Errorf("Crossover(3) after add = %v, want %v", got, want)
+	}
+	if !x.RemoveRoute(4) {
+		t.Error("RemoveRoute(4) failed")
+	}
+	if x.RemoveRoute(4) {
+		t.Error("double remove succeeded")
+	}
+	if !equalIDs(x.Crossover(3), []int32{1, 2, 3}) {
+		t.Errorf("Crossover(3) after remove = %v", x.Crossover(3))
+	}
+	if x.RouteTree().Len() != 9 {
+		t.Errorf("RR-tree has %d entries after add/remove, want 9", x.RouteTree().Len())
+	}
+	if x.Crossover(0) == nil {
+		t.Error("stop 0 lost its original route")
+	}
+}
+
+func TestDynamicTransitions(t *testing.T) {
+	x, err := Build(testDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddTransition(model.Transition{ID: 20, O: geo.Pt(1, 1), D: geo.Pt(2, 2), Time: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddTransition(model.Transition{ID: 20, O: geo.Pt(1, 1), D: geo.Pt(2, 2)}); err == nil {
+		t.Error("duplicate AddTransition accepted")
+	}
+	if x.NumTransitions() != 4 {
+		t.Errorf("NumTransitions = %d", x.NumTransitions())
+	}
+	if !x.RemoveTransition(10) {
+		t.Error("RemoveTransition(10) failed")
+	}
+	if x.RemoveTransition(10) {
+		t.Error("double remove succeeded")
+	}
+	if x.TransitionTree().Len() != 6 {
+		t.Errorf("TR-tree has %d entries, want 6", x.TransitionTree().Len())
+	}
+}
+
+func TestExpireTransitionsBefore(t *testing.T) {
+	x, err := Build(testDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Times: 0 (untimed), 100, 200.
+	if n := x.ExpireTransitionsBefore(150); n != 1 {
+		t.Errorf("expired %d, want 1", n)
+	}
+	if x.Transition(11) != nil {
+		t.Error("transition 11 should be expired")
+	}
+	if x.Transition(10) == nil {
+		t.Error("untimed transition must survive")
+	}
+	if x.Transition(12) == nil {
+		t.Error("transition 12 should survive")
+	}
+	if n := x.ExpireTransitionsBefore(1000); n != 1 {
+		t.Errorf("second expiry removed %d, want 1", n)
+	}
+	if x.NumTransitions() != 1 {
+		t.Errorf("NumTransitions = %d, want 1", x.NumTransitions())
+	}
+}
+
+// NList must equal, for every node, the union of route IDs beneath it.
+func TestNListCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	ds := randomDataset(rng, 40, 100)
+	x, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyNList(t, x)
+}
+
+func TestNListInvalidatedByUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ds := randomDataset(rng, 20, 10)
+	x, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = x.NList(x.RouteTree().Root()) // warm the cache
+	if err := x.AddRoute(model.Route{ID: 999, Stops: []int32{7000, 7001},
+		Pts: []geo.Point{geo.Pt(500, 500), geo.Pt(501, 501)}}); err != nil {
+		t.Fatal(err)
+	}
+	root := x.RouteTree().Root()
+	ids := x.NList(root)
+	found := false
+	for _, id := range ids {
+		if id == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("NList cache not invalidated: route 999 missing from root list")
+	}
+	verifyNList(t, x)
+}
+
+func verifyNList(t *testing.T, x *Index) {
+	t.Helper()
+	var walk func(n *rtree.Node) map[int32]bool
+	walk = func(n *rtree.Node) map[int32]bool {
+		want := map[int32]bool{}
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				want[e.ID] = true
+			}
+		} else {
+			for _, c := range n.Children() {
+				for id := range walk(c) {
+					want[id] = true
+				}
+			}
+		}
+		got := x.NList(n)
+		if len(got) != len(want) {
+			t.Fatalf("NList size %d, want %d", len(got), len(want))
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatal("NList not sorted")
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("NList contains %d not under node", id)
+			}
+		}
+		return want
+	}
+	walk(x.RouteTree().Root())
+}
+
+func randomDataset(rng *rand.Rand, nRoutes, nTrans int) *model.Dataset {
+	ds := &model.Dataset{}
+	stopID := int32(0)
+	for r := 0; r < nRoutes; r++ {
+		n := 2 + rng.Intn(6)
+		route := model.Route{ID: int32(r + 1)}
+		for i := 0; i < n; i++ {
+			route.Stops = append(route.Stops, stopID%57) // force stop sharing
+			stopID++
+			route.Pts = append(route.Pts, geo.Pt(rng.Float64()*50, rng.Float64()*50))
+		}
+		ds.Routes = append(ds.Routes, route)
+	}
+	for i := 0; i < nTrans; i++ {
+		ds.Transitions = append(ds.Transitions, model.Transition{
+			ID: int32(i + 1),
+			O:  geo.Pt(rng.Float64()*50, rng.Float64()*50),
+			D:  geo.Pt(rng.Float64()*50, rng.Float64()*50),
+		})
+	}
+	return ds
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: under any random sequence of route add/remove operations, the
+// PList stays exactly consistent with the live route set, and the RR-tree
+// entry count matches the total number of live route points.
+func TestPListConsistencyUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	x, err := Build(&model.Dataset{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[model.RouteID]model.Route{}
+	nextID := model.RouteID(1)
+	for step := 0; step < 400; step++ {
+		if len(live) == 0 || rng.Intn(3) > 0 { // add
+			n := 2 + rng.Intn(5)
+			r := model.Route{ID: nextID}
+			nextID++
+			for i := 0; i < n; i++ {
+				s := model.StopID(rng.Intn(25)) // small stop space forces sharing
+				r.Stops = append(r.Stops, s)
+				r.Pts = append(r.Pts, geo.Pt(float64(s%5), float64(s/5)))
+			}
+			if err := x.AddRoute(r); err != nil {
+				t.Fatal(err)
+			}
+			live[r.ID] = r
+		} else { // remove a random live route
+			var victim model.RouteID
+			k := rng.Intn(len(live))
+			for id := range live {
+				if k == 0 {
+					victim = id
+					break
+				}
+				k--
+			}
+			if !x.RemoveRoute(victim) {
+				t.Fatalf("step %d: remove %d failed", step, victim)
+			}
+			delete(live, victim)
+		}
+		if step%50 != 49 {
+			continue
+		}
+		// Reference PList from the live set.
+		want := map[model.StopID]map[model.RouteID]bool{}
+		points := 0
+		for _, r := range live {
+			points += len(r.Pts)
+			for _, s := range r.Stops {
+				if want[s] == nil {
+					want[s] = map[model.RouteID]bool{}
+				}
+				want[s][r.ID] = true
+			}
+		}
+		if x.RouteTree().Len() != points {
+			t.Fatalf("step %d: RR-tree has %d entries, want %d", step, x.RouteTree().Len(), points)
+		}
+		for s, routes := range want {
+			got := x.Crossover(s)
+			if len(got) != len(routes) {
+				t.Fatalf("step %d: Crossover(%d) = %v, want %d routes", step, s, got, len(routes))
+			}
+			for _, id := range got {
+				if !routes[id] {
+					t.Fatalf("step %d: Crossover(%d) contains dead route %d", step, s, id)
+				}
+			}
+		}
+		for s := model.StopID(0); s < 25; s++ {
+			if want[s] == nil && x.Crossover(s) != nil {
+				t.Fatalf("step %d: stale PList entry for stop %d", step, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package model defines the domain types shared by the RkNNT indexes,
+// query processor and route planner: routes, transitions and datasets.
+package model
+
+import "repro/internal/geo"
+
+// RouteID identifies a route in a dataset.
+type RouteID = int32
+
+// TransitionID identifies a transition in a dataset.
+type TransitionID = int32
+
+// StopID identifies a network stop. Route points reference stops so that
+// crossover route sets (Definition 7 of the paper) are well defined: two
+// routes sharing a stop share the stop ID.
+type StopID = int32
+
+// Route is a sequence of at least two stops (Definition 1).
+type Route struct {
+	ID    RouteID
+	Stops []StopID    // stop IDs, parallel to Pts
+	Pts   []geo.Point // stop locations
+}
+
+// Len returns the number of points in the route.
+func (r *Route) Len() int { return len(r.Pts) }
+
+// TravelDist returns ψ(R): the travel distance through every point
+// (Equation 6 of the paper).
+func (r *Route) TravelDist() float64 { return geo.PolylineLen(r.Pts) }
+
+// Transition is an origin/destination movement of one passenger
+// (Definition 2). Time is an optional epoch-seconds annotation used by the
+// temporal query extension and the sliding-window examples; 0 means
+// untimed.
+type Transition struct {
+	ID   TransitionID
+	O, D geo.Point
+	Time int64
+}
+
+// Endpoints returns the origin and destination as a two-point slice.
+func (t *Transition) Endpoints() [2]geo.Point { return [2]geo.Point{t.O, t.D} }
+
+// Dataset is a route collection DR plus a transition collection DT.
+type Dataset struct {
+	Routes      []Route
+	Transitions []Transition
+}
+
+// RouteByID returns the route with the given ID, or nil.
+func (d *Dataset) RouteByID(id RouteID) *Route {
+	for i := range d.Routes {
+		if d.Routes[i].ID == id {
+			return &d.Routes[i]
+		}
+	}
+	return nil
+}
+
+// TransitionByID returns the transition with the given ID, or nil.
+func (d *Dataset) TransitionByID(id TransitionID) *Transition {
+	for i := range d.Transitions {
+		if d.Transitions[i].ID == id {
+			return &d.Transitions[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package monitor implements continuous RkNNT: standing queries whose
+// result sets are maintained incrementally as transitions arrive and
+// expire. This is the paper's motivating dynamic scenario ("old
+// transitions expire and new transitions arrive ... providing up-to-date
+// answers") turned into an API, in the spirit of the continuous reverse-NN
+// monitoring line of work the paper cites (Cheema et al.).
+//
+// A full RkNNT query runs once at registration; afterwards each arriving
+// transition costs two rank checks (one per endpoint) against the RR-tree
+// — no recomputation over the transition set, whose size therefore does
+// not affect update cost.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// Event describes one change to a standing query's result set.
+type Event struct {
+	Query      QueryID
+	Transition model.TransitionID
+	Added      bool // true: entered the result set; false: left it
+}
+
+// QueryID identifies a registered standing query.
+type QueryID int32
+
+// Monitor maintains standing RkNNT queries over one index. The Monitor
+// must be the sole writer of transitions to the index: route updates are
+// allowed through RouteChanged (which recomputes), transition updates must
+// go through Add/Remove so the standing results stay consistent.
+//
+// Monitor is safe for concurrent use.
+type Monitor struct {
+	mu      sync.Mutex
+	x       *index.Index
+	nextID  QueryID
+	queries map[QueryID]*standing
+}
+
+type standing struct {
+	id      QueryID
+	query   []geo.Point
+	k       int
+	sem     core.Semantics
+	masks   map[model.TransitionID]uint8 // endpoint masks of current matches
+	results map[model.TransitionID]bool  // current result set under sem
+}
+
+// New returns a Monitor over the index.
+func New(x *index.Index) *Monitor {
+	return &Monitor{x: x, queries: make(map[QueryID]*standing)}
+}
+
+// Register adds a standing query, computing its initial result set with a
+// full RkNNT pass. It returns the query ID and the initial results in
+// ascending order.
+func (m *Monitor) Register(query []geo.Point, k int, sem core.Semantics) (QueryID, []model.TransitionID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	masks, err := core.EndpointMasks(m.x, query, k, core.DivideConquer)
+	if err != nil {
+		return 0, nil, err
+	}
+	m.nextID++
+	st := &standing{
+		id:      m.nextID,
+		query:   append([]geo.Point(nil), query...),
+		k:       k,
+		sem:     sem,
+		masks:   masks,
+		results: make(map[model.TransitionID]bool),
+	}
+	for id, mask := range masks {
+		if st.matches(mask) {
+			st.results[id] = true
+		}
+	}
+	m.queries[st.id] = st
+	return st.id, st.snapshot(), nil
+}
+
+func (st *standing) matches(mask uint8) bool {
+	if st.sem == core.ForAll {
+		return mask == 3
+	}
+	return mask != 0
+}
+
+func (st *standing) snapshot() []model.TransitionID {
+	out := make([]model.TransitionID, 0, len(st.results))
+	for id := range st.results {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Unregister removes a standing query. It reports whether it existed.
+func (m *Monitor) Unregister(id QueryID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.queries[id]; !ok {
+		return false
+	}
+	delete(m.queries, id)
+	return true
+}
+
+// Results returns the current result set of a standing query.
+func (m *Monitor) Results(id QueryID) ([]model.TransitionID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("monitor: unknown query %d", id)
+	}
+	return st.snapshot(), nil
+}
+
+// Add indexes a new transition and updates every standing query,
+// returning the resulting events (at most one per query).
+func (m *Monitor) Add(t model.Transition) ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.x.AddTransition(t); err != nil {
+		return nil, err
+	}
+	var events []Event
+	for _, st := range m.queries {
+		mask := uint8(0)
+		if core.TakesQueryAsKNN(m.x, st.query, t.O, st.k) {
+			mask |= 1
+		}
+		if core.TakesQueryAsKNN(m.x, st.query, t.D, st.k) {
+			mask |= 2
+		}
+		if mask != 0 {
+			st.masks[t.ID] = mask
+		}
+		if st.matches(mask) {
+			st.results[t.ID] = true
+			events = append(events, Event{Query: st.id, Transition: t.ID, Added: true})
+		}
+	}
+	return events, nil
+}
+
+// Remove drops a transition and updates every standing query, returning
+// the resulting events.
+func (m *Monitor) Remove(id model.TransitionID) ([]Event, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.x.RemoveTransition(id) {
+		return nil, false
+	}
+	var events []Event
+	for _, st := range m.queries {
+		delete(st.masks, id)
+		if st.results[id] {
+			delete(st.results, id)
+			events = append(events, Event{Query: st.id, Transition: id, Added: false})
+		}
+	}
+	return events, true
+}
+
+// ExpireBefore removes every timed transition older than cutoff,
+// returning all resulting events.
+func (m *Monitor) ExpireBefore(cutoff int64) []Event {
+	var victims []model.TransitionID
+	m.mu.Lock()
+	m.x.Transitions(func(t *model.Transition) bool {
+		if t.Time != 0 && t.Time < cutoff {
+			victims = append(victims, t.ID)
+		}
+		return true
+	})
+	m.mu.Unlock()
+	var events []Event
+	for _, id := range victims {
+		evs, _ := m.Remove(id)
+		events = append(events, evs...)
+	}
+	return events
+}
+
+// RouteChanged must be called after routes are added to or removed from
+// the index: route changes shift every transition's rank, so all standing
+// results are recomputed from scratch. It returns the delta events.
+func (m *Monitor) RouteChanged() ([]Event, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var events []Event
+	for _, st := range m.queries {
+		masks, err := core.EndpointMasks(m.x, st.query, st.k, core.DivideConquer)
+		if err != nil {
+			return nil, err
+		}
+		newResults := make(map[model.TransitionID]bool)
+		for id, mask := range masks {
+			if st.matches(mask) {
+				newResults[id] = true
+			}
+		}
+		for id := range newResults {
+			if !st.results[id] {
+				events = append(events, Event{Query: st.id, Transition: id, Added: true})
+			}
+		}
+		for id := range st.results {
+			if !newResults[id] {
+				events = append(events, Event{Query: st.id, Transition: id, Added: false})
+			}
+		}
+		st.masks = masks
+		st.results = newResults
+	}
+	return events, nil
+}

@@ -1,0 +1,92 @@
+package planner
+
+import (
+	"math/bits"
+
+	"repro/internal/model"
+)
+
+// maskSet is the endpoint-mask union of a (partial) route, stored as two
+// bitmaps over a dense transition index: one plane for origins and one for
+// destinations. All the operations the Algorithm 6 search needs per
+// expansion — clone, union with a vertex's set, cardinalities, and the
+// containment tests of the dominance rules — become word-wise, which is
+// what keeps the search tractable: the map representation costs O(set
+// size) per copy with poor constants, and the search copies on every
+// expansion.
+type maskSet struct {
+	o, d []uint64
+}
+
+// maskIndex maps sparse transition IDs to dense bit positions. It is built
+// once per Precomputed from the union of all per-vertex RkNNT sets: only
+// transitions that some vertex attracts can ever appear in a route's set.
+type maskIndex struct {
+	ids []model.TransitionID       // dense position -> ID (sorted)
+	pos map[model.TransitionID]int // ID -> dense position
+	vb  []maskSet                  // per-vertex bitmaps
+}
+
+func (ix *maskIndex) words() int { return (len(ix.ids) + 63) / 64 }
+
+func (ix *maskIndex) newSet() maskSet {
+	w := ix.words()
+	return maskSet{o: make([]uint64, w), d: make([]uint64, w)}
+}
+
+func (m maskSet) clone() maskSet {
+	return maskSet{
+		o: append([]uint64(nil), m.o...),
+		d: append([]uint64(nil), m.d...),
+	}
+}
+
+// orInPlace unions v into m.
+func (m maskSet) orInPlace(v maskSet) {
+	for i := range m.o {
+		m.o[i] |= v.o[i]
+		m.d[i] |= v.d[i]
+	}
+}
+
+// countExists returns |∃RkNNT|: transitions with any endpoint bit set.
+func (m maskSet) countExists() int {
+	n := 0
+	for i := range m.o {
+		n += bits.OnesCount64(m.o[i] | m.d[i])
+	}
+	return n
+}
+
+// countForAll returns |∀RkNNT|: transitions with both endpoint bits set.
+func (m maskSet) countForAll() int {
+	n := 0
+	for i := range m.o {
+		n += bits.OnesCount64(m.o[i] & m.d[i])
+	}
+	return n
+}
+
+// covers reports whether m ⊇ v bitwise on both planes.
+func (m maskSet) covers(v maskSet) bool {
+	for i := range m.o {
+		if v.o[i]&^m.o[i] != 0 || v.d[i]&^m.d[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// transitions returns the sorted transition IDs with any bit set.
+func (ix *maskIndex) transitions(m maskSet) []model.TransitionID {
+	var out []model.TransitionID
+	for w := range m.o {
+		bitsSet := m.o[w] | m.d[w]
+		for bitsSet != 0 {
+			b := bits.TrailingZeros64(bitsSet)
+			out = append(out, ix.ids[w*64+b])
+			bitsSet &= bitsSet - 1
+		}
+	}
+	return out
+}

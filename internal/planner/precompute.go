@@ -1,0 +1,139 @@
+// Package planner solves the optimal route planning problems of Section 6
+// of the paper: MaxRkNNT and MinRkNNT (Definition 10). Given a bus
+// network, a start stop, an end stop and a travel distance threshold τ, it
+// finds the route attracting the most (fewest) passengers, where passenger
+// attraction is the RkNNT set of the route.
+//
+// Four algorithms are provided, matching Section 7.3's evaluation:
+//
+//   - BruteForce: enumerate candidate routes within τ (k-shortest-path
+//     style) and run an on-the-fly RkNNT query per candidate.
+//   - Pre: the same enumeration, but candidate RkNNT sets come from the
+//     per-vertex precomputation of Algorithm 5 (no on-the-fly queries).
+//   - PreMax / PreMin: best-first expansion with reachability pruning via
+//     the all-pairs lower-bound matrix Mψ and a per-vertex dominance table
+//     (Algorithm 6).
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// Precomputed holds the per-vertex RkNNT endpoint masks and the all-pairs
+// shortest distance matrix Mψ of Algorithm 5, for one fixed k.
+type Precomputed struct {
+	G *graph.Graph
+	K int
+
+	// Masks[v] maps transition ID to its endpoint mask for the
+	// single-point query at vertex v (bit 0 = origin, bit 1 = dest).
+	Masks []map[model.TransitionID]uint8
+
+	// M is the all-pairs shortest distance matrix Mψ.
+	M [][]float64
+
+	// ix is the dense transition index backing the bitmap mask sets the
+	// search operates on (see maskset.go).
+	ix maskIndex
+
+	// Timings of the two precomputation steps, reported in Table 5.
+	RkNNTTime    time.Duration
+	ShortestTime time.Duration
+}
+
+// Precompute runs Algorithm 5: an RkNNT query for every vertex of the
+// graph plus the all-pairs shortest distance matrix. The method selects
+// the RkNNT strategy (the paper uses the full framework; Voronoi is the
+// sensible default).
+func Precompute(x *index.Index, g *graph.Graph, k int, method core.Method) (*Precomputed, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("planner: k must be >= 1, got %d", k)
+	}
+	n := g.NumVertices()
+	p := &Precomputed{G: g, K: k, Masks: make([]map[model.TransitionID]uint8, n)}
+
+	start := time.Now()
+	for v := 0; v < n; v++ {
+		masks, err := core.EndpointMasks(x, []geo.Point{g.Point(graph.VertexID(v))}, k, method)
+		if err != nil {
+			return nil, fmt.Errorf("planner: vertex %d: %w", v, err)
+		}
+		p.Masks[v] = masks
+	}
+	p.RkNNTTime = time.Since(start)
+
+	start = time.Now()
+	p.M = g.AllPairs()
+	p.ShortestTime = time.Since(start)
+
+	p.buildMaskIndex()
+	return p, nil
+}
+
+// buildMaskIndex converts the per-vertex mask maps into dense bitmaps.
+func (p *Precomputed) buildMaskIndex() {
+	seen := make(map[model.TransitionID]struct{})
+	for _, m := range p.Masks {
+		for id := range m {
+			seen[id] = struct{}{}
+		}
+	}
+	ids := make([]model.TransitionID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	p.ix.ids = ids
+	p.ix.pos = make(map[model.TransitionID]int, len(ids))
+	for i, id := range ids {
+		p.ix.pos[id] = i
+	}
+	p.ix.vb = make([]maskSet, len(p.Masks))
+	for v, m := range p.Masks {
+		b := p.ix.newSet()
+		for id, mask := range m {
+			i := p.ix.pos[id]
+			if mask&1 != 0 {
+				b.o[i/64] |= 1 << uint(i%64)
+			}
+			if mask&2 != 0 {
+				b.d[i/64] |= 1 << uint(i%64)
+			}
+		}
+		p.ix.vb[v] = b
+	}
+}
+
+// routeMasks unions the per-vertex endpoint masks along a vertex path,
+// which by Lemma 3 yields exactly the endpoint masks of the whole route.
+func (p *Precomputed) routeMasks(path []graph.VertexID) map[model.TransitionID]uint8 {
+	out := make(map[model.TransitionID]uint8)
+	for _, v := range path {
+		for id, m := range p.Masks[v] {
+			out[id] |= m
+		}
+	}
+	return out
+}
+
+// countExists returns |∃RkNNT| for a mask set.
+func countExists(masks map[model.TransitionID]uint8) int { return len(masks) }
+
+// countForAll returns |∀RkNNT| for a mask set.
+func countForAll(masks map[model.TransitionID]uint8) int {
+	n := 0
+	for _, m := range masks {
+		if m == 3 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}
+
+// Neighbor is a kNN search result.
+type Neighbor struct {
+	Entry Entry
+	Dist  float64
+}
+
+// NearestK returns the k entries nearest to p in ascending distance order,
+// using best-first traversal with the MINDIST lower bound. Fewer than k are
+// returned if the tree is smaller than k. Ties are broken arbitrarily.
+func (t *Tree) NearestK(p geo.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &distHeap{}
+	heap.Init(h)
+	heap.Push(h, distItem{node: t.root, dist: t.root.rect.MinDist2(p)})
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.node == nil {
+			out = append(out, Neighbor{Entry: it.entry, Dist: math.Sqrt(it.dist)})
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		n := it.node
+		if n.leaf {
+			for _, e := range n.entries {
+				heap.Push(h, distItem{entry: e, dist: e.Pt.Dist2(p)})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(h, distItem{node: c, dist: c.rect.MinDist2(p)})
+			}
+		}
+	}
+	return out
+}
+
+// NearestRouteK is NearestK for a multi-point query: distances are
+// min over query points (Equation 3 of the paper).
+func (t *Tree) NearestRouteK(query []geo.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 || len(query) == 0 {
+		return nil
+	}
+	minDist2 := func(r geo.Rect) float64 {
+		best := math.Inf(1)
+		for _, q := range query {
+			if d := r.MinDist2(q); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	h := &distHeap{}
+	heap.Init(h)
+	heap.Push(h, distItem{node: t.root, dist: minDist2(t.root.rect)})
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.node == nil {
+			out = append(out, Neighbor{Entry: it.entry, Dist: math.Sqrt(it.dist)})
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		n := it.node
+		if n.leaf {
+			for _, e := range n.entries {
+				heap.Push(h, distItem{entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
+			}
+		} else {
+			for _, c := range n.children {
+				heap.Push(h, distItem{node: c, dist: minDist2(c.rect)})
+			}
+		}
+	}
+	return out
+}
+
+// distItem is either a node (node != nil) or a materialised entry.
+type distItem struct {
+	node  *Node
+	entry Entry
+	dist  float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// BulkLoad builds a tree from entries using Sort-Tile-Recursive packing.
+// It is much faster than repeated Insert for large static datasets and
+// produces well-shaped nodes. The input slice is reordered in place.
+func BulkLoad(entries []Entry) *Tree {
+	t := New()
+	if len(entries) == 0 {
+		return t
+	}
+	t.size = len(entries)
+	leaves := strPack(entries)
+	nodes := make([]*Node, len(leaves))
+	copy(nodes, leaves)
+	for len(nodes) > 1 {
+		nodes = packNodes(nodes)
+	}
+	t.root = nodes[0]
+	return t
+}
+
+// strPack tiles entries into leaves of up to maxEntries each.
+func strPack(entries []Entry) []*Node {
+	n := len(entries)
+	leafCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sortEntriesBy(entries, true)
+	perSlice := (n + sliceCount - 1) / sliceCount
+	var leaves []*Node
+	for i := 0; i < n; i += perSlice {
+		hi := i + perSlice
+		if hi > n {
+			hi = n
+		}
+		slice := entries[i:hi]
+		sortEntriesBy(slice, false)
+		for j := 0; j < len(slice); j += maxEntries {
+			k := j + maxEntries
+			if k > len(slice) {
+				k = len(slice)
+			}
+			leaf := &Node{leaf: true, entries: append([]Entry(nil), slice[j:k]...)}
+			recomputeRect(leaf)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packNodes groups nodes into parents of up to maxEntries children using the
+// same tiling on node centers.
+func packNodes(nodes []*Node) []*Node {
+	n := len(nodes)
+	parentCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	sortNodesBy(nodes, true)
+	perSlice := (n + sliceCount - 1) / sliceCount
+	var parents []*Node
+	for i := 0; i < n; i += perSlice {
+		hi := i + perSlice
+		if hi > n {
+			hi = n
+		}
+		slice := nodes[i:hi]
+		sortNodesBy(slice, false)
+		for j := 0; j < len(slice); j += maxEntries {
+			k := j + maxEntries
+			if k > len(slice) {
+				k = len(slice)
+			}
+			parent := &Node{children: append([]*Node(nil), slice[j:k]...)}
+			recomputeRect(parent)
+			parents = append(parents, parent)
+		}
+	}
+	return parents
+}
+
+func sortEntriesBy(entries []Entry, byX bool) {
+	if byX {
+		sortSlice(entries, func(a, b Entry) bool { return a.Pt.X < b.Pt.X })
+	} else {
+		sortSlice(entries, func(a, b Entry) bool { return a.Pt.Y < b.Pt.Y })
+	}
+}
+
+func sortNodesBy(nodes []*Node, byX bool) {
+	if byX {
+		sortSlice(nodes, func(a, b *Node) bool { return a.rect.Center().X < b.rect.Center().X })
+	} else {
+		sortSlice(nodes, func(a, b *Node) bool { return a.rect.Center().Y < b.rect.Center().Y })
+	}
+}

@@ -1,0 +1,158 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// opSequence is a randomized insert/delete/search script used to
+// model-check the R-tree against a naive slice implementation.
+type opSequence struct {
+	ops []op
+}
+
+type op struct {
+	kind  int // 0 insert, 1 delete, 2 range query, 3 knn query
+	entry Entry
+	rect  geo.Rect
+	k     int
+}
+
+// Generate implements quick.Generator: scripts of up to 400 operations
+// over a small coordinate universe so deletes frequently hit.
+func (opSequence) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 50 + r.Intn(350)
+	seq := opSequence{ops: make([]op, n)}
+	var live []Entry
+	for i := range seq.ops {
+		pt := geo.Pt(float64(r.Intn(40)), float64(r.Intn(40)))
+		switch k := r.Intn(10); {
+		case k < 5: // insert
+			e := Entry{Pt: pt, ID: int32(r.Intn(100)), Aux: int32(r.Intn(5))}
+			live = append(live, e)
+			seq.ops[i] = op{kind: 0, entry: e}
+		case k < 7: // delete (mostly existing entries)
+			var e Entry
+			if len(live) > 0 && r.Intn(4) > 0 {
+				j := r.Intn(len(live))
+				e = live[j]
+				live = append(live[:j], live[j+1:]...)
+			} else {
+				e = Entry{Pt: pt, ID: int32(r.Intn(100))}
+			}
+			seq.ops[i] = op{kind: 1, entry: e}
+		case k < 9: // range query
+			a := geo.Pt(float64(r.Intn(40)), float64(r.Intn(40)))
+			b := geo.Pt(float64(r.Intn(40)), float64(r.Intn(40)))
+			seq.ops[i] = op{kind: 2, rect: geo.RectOf(a).ExpandPoint(b)}
+		default: // knn query
+			seq.ops[i] = op{kind: 3, entry: Entry{Pt: pt}, k: 1 + r.Intn(8)}
+		}
+	}
+	return reflect.ValueOf(seq)
+}
+
+// TestQuickModelCheck runs random operation scripts against both the
+// R-tree and a naive reference, demanding identical observable behaviour.
+func TestQuickModelCheck(t *testing.T) {
+	check := func(seq opSequence) bool {
+		tree := New()
+		var ref []Entry
+		for _, o := range seq.ops {
+			switch o.kind {
+			case 0:
+				tree.Insert(o.entry)
+				ref = append(ref, o.entry)
+			case 1:
+				got := tree.Delete(o.entry)
+				want := false
+				for j, e := range ref {
+					if e == o.entry {
+						ref = append(ref[:j], ref[j+1:]...)
+						want = true
+						break
+					}
+				}
+				if got != want {
+					t.Logf("delete(%v) = %v, want %v", o.entry, got, want)
+					return false
+				}
+			case 2:
+				var got []Entry
+				tree.Search(o.rect, func(e Entry) bool {
+					got = append(got, e)
+					return true
+				})
+				var want []Entry
+				for _, e := range ref {
+					if o.rect.Contains(e.Pt) {
+						want = append(want, e)
+					}
+				}
+				if !multisetEqual(got, want) {
+					t.Logf("range %v: got %d, want %d", o.rect, len(got), len(want))
+					return false
+				}
+			case 3:
+				got := tree.NearestK(o.entry.Pt, o.k)
+				dists := make([]float64, len(ref))
+				for j, e := range ref {
+					dists[j] = o.entry.Pt.Dist(e.Pt)
+				}
+				sort.Float64s(dists)
+				for j, nb := range got {
+					if j >= len(dists) || absDiff(nb.Dist, dists[j]) > 1e-9 {
+						t.Logf("knn mismatch at %d: %v", j, nb.Dist)
+						return false
+					}
+				}
+				wantLen := o.k
+				if wantLen > len(ref) {
+					wantLen = len(ref)
+				}
+				if len(got) != wantLen {
+					t.Logf("knn returned %d, want %d", len(got), wantLen)
+					return false
+				}
+			}
+			if tree.Len() != len(ref) {
+				t.Logf("Len %d, want %d", tree.Len(), len(ref))
+				return false
+			}
+		}
+		return tree.checkInvariants(true) == nil
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func multisetEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[Entry]int{}
+	for _, e := range a {
+		count[e]++
+	}
+	for _, e := range b {
+		count[e]--
+		if count[e] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

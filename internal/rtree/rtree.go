@@ -1,0 +1,363 @@
+// Package rtree implements a dynamic R-tree over points (Guttman 1984,
+// quadratic split), with STR bulk loading, deletion with tree condensing,
+// range and k-nearest-neighbour search, and direct node access for the
+// best-first traversals used by the RkNNT filter-refinement framework.
+//
+// The tree stores Entry values: a point plus two integer payload fields.
+// The RkNNT indexes use ID for the owning route/transition and Aux for the
+// stop ID or the origin/destination role.
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// Entry is a leaf-level record: a point with its payload.
+type Entry struct {
+	Pt  geo.Point
+	ID  int32 // owning object (route ID or transition ID)
+	Aux int32 // secondary payload (stop ID, or endpoint role)
+}
+
+// Default fanout bounds. M=32 keeps nodes cache-friendly; m is the usual
+// 40% fill guarantee.
+const (
+	maxEntries = 32
+	minEntries = 13
+)
+
+// Node is an R-tree node. Leaves hold entries; internal nodes hold child
+// nodes. Fields are unexported: traversal code uses the accessor methods.
+type Node struct {
+	rect     geo.Rect
+	leaf     bool
+	children []*Node
+	entries  []Entry
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Rect returns the node's minimum bounding rectangle.
+func (n *Node) Rect() geo.Rect { return n.rect }
+
+// Children returns the child nodes of an internal node (nil for leaves).
+func (n *Node) Children() []*Node { return n.children }
+
+// Entries returns the entries of a leaf node (nil for internal nodes).
+func (n *Node) Entries() []Entry { return n.entries }
+
+// Tree is a dynamic R-tree. The zero value is not usable; call New.
+type Tree struct {
+	root *Node
+	size int
+	// generation increments on every structural change so that caches
+	// keyed by node pointers (e.g. the NList) can detect staleness.
+	generation uint64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &Node{leaf: true, rect: geo.EmptyRect()}}
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the root node for manual traversal. The returned node (and
+// everything below it) is invalidated by any subsequent Insert or Delete.
+func (t *Tree) Root() *Node { return t.root }
+
+// Generation returns a counter that changes whenever the tree structure
+// changes. Caches built against a Root() snapshot should be discarded when
+// the generation moves.
+func (t *Tree) Generation() uint64 { return t.generation }
+
+// Bounds returns the MBR of all entries (empty rect if the tree is empty).
+func (t *Tree) Bounds() geo.Rect { return t.root.rect }
+
+// Insert adds an entry to the tree.
+func (t *Tree) Insert(e Entry) {
+	t.generation++
+	t.size++
+	path := chooseLeafPath(t.root, e.Pt)
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries, e)
+	for _, n := range path {
+		n.rect = n.rect.ExpandPoint(e.Pt)
+	}
+	// Split overflowing nodes bottom-up.
+	for i := len(path) - 1; i >= 0; i-- {
+		cur := path[i]
+		if !cur.overflow() {
+			break
+		}
+		left, right := splitNode(cur)
+		if i == 0 { // root split: grow the tree
+			t.root = &Node{
+				leaf:     false,
+				children: []*Node{left, right},
+				rect:     left.rect.Union(right.rect),
+			}
+		} else {
+			parent := path[i-1]
+			replaceChild(parent, cur, left, right)
+		}
+	}
+}
+
+func (n *Node) overflow() bool {
+	if n.leaf {
+		return len(n.entries) > maxEntries
+	}
+	return len(n.children) > maxEntries
+}
+
+func replaceChild(parent *Node, old, a, b *Node) {
+	for i, c := range parent.children {
+		if c == old {
+			parent.children[i] = a
+			parent.children = append(parent.children, b)
+			return
+		}
+	}
+	panic("rtree: child not found during split")
+}
+
+func recomputeRect(n *Node) {
+	r := geo.EmptyRect()
+	if n.leaf {
+		for _, e := range n.entries {
+			r = r.ExpandPoint(e.Pt)
+		}
+	} else {
+		for _, c := range n.children {
+			r = r.Union(c.rect)
+		}
+	}
+	n.rect = r
+}
+
+// chooseLeafPath descends to the leaf whose MBR needs the least enlargement
+// to cover p, breaking ties by smaller area (Guttman's ChooseLeaf), and
+// returns the root..leaf path.
+func chooseLeafPath(n *Node, p geo.Point) []*Node {
+	path := []*Node{n}
+	for !n.leaf {
+		var best *Node
+		bestEnl, bestArea := 0.0, 0.0
+		for _, c := range n.children {
+			enl := c.rect.Enlargement(geo.RectOf(p))
+			area := c.rect.Area()
+			if best == nil || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = c, enl, area
+			}
+		}
+		n = best
+		path = append(path, n)
+	}
+	return path
+}
+
+// Delete removes one entry equal to e (same point and payload). It reports
+// whether an entry was removed. Underfull nodes are condensed: their
+// remaining entries are reinserted, as in Guttman's CondenseTree.
+func (t *Tree) Delete(e Entry) bool {
+	leaf, path := findLeaf(t.root, nil, e)
+	if leaf == nil {
+		return false
+	}
+	t.generation++
+	t.size--
+	for i, le := range leaf.entries {
+		if le == e {
+			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+			break
+		}
+	}
+	t.condense(path)
+	return true
+}
+
+// findLeaf locates the leaf containing e, returning the leaf and the
+// root..leaf path.
+func findLeaf(n *Node, path []*Node, e Entry) (*Node, []*Node) {
+	path = append(path, n)
+	if n.leaf {
+		for _, le := range n.entries {
+			if le == e {
+				return n, path
+			}
+		}
+		return nil, nil
+	}
+	for _, c := range n.children {
+		if c.rect.Contains(e.Pt) {
+			if leaf, p := findLeaf(c, path, e); leaf != nil {
+				return leaf, p
+			}
+		}
+	}
+	return nil, nil
+}
+
+// condense removes underfull nodes along the path and reinserts orphans.
+func (t *Tree) condense(path []*Node) {
+	var orphanEntries []Entry
+	var orphanNodes []*Node
+	for i := len(path) - 1; i >= 1; i-- {
+		n, parent := path[i], path[i-1]
+		under := false
+		if n.leaf {
+			under = len(n.entries) < minEntries
+		} else {
+			under = len(n.children) < minEntries
+		}
+		if under {
+			removeChild(parent, n)
+			if n.leaf {
+				orphanEntries = append(orphanEntries, n.entries...)
+			} else {
+				orphanNodes = append(orphanNodes, n.children...)
+			}
+		} else {
+			recomputeRect(n)
+		}
+	}
+	recomputeRect(t.root)
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &Node{leaf: true, rect: geo.EmptyRect()}
+	}
+	// Reinsert orphaned subtrees entry by entry. Subtree reinsertion at the
+	// right level is an optimisation; entry reinsertion is simpler and the
+	// delete path is not performance critical for the RkNNT workloads.
+	for len(orphanNodes) > 0 {
+		n := orphanNodes[len(orphanNodes)-1]
+		orphanNodes = orphanNodes[:len(orphanNodes)-1]
+		if n.leaf {
+			orphanEntries = append(orphanEntries, n.entries...)
+		} else {
+			orphanNodes = append(orphanNodes, n.children...)
+		}
+	}
+	for _, e := range orphanEntries {
+		t.size-- // Insert will re-count it
+		t.Insert(e)
+	}
+}
+
+func removeChild(parent *Node, child *Node) {
+	for i, c := range parent.children {
+		if c == child {
+			parent.children = append(parent.children[:i], parent.children[i+1:]...)
+			return
+		}
+	}
+	panic("rtree: removeChild: not a child")
+}
+
+// Search calls fn for every entry whose point lies inside rect. Returning
+// false from fn stops the search.
+func (t *Tree) Search(rect geo.Rect, fn func(Entry) bool) {
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if !n.rect.Intersects(rect) && !(n == t.root && t.size == 0) {
+			return true
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if rect.Contains(e.Pt) {
+					if !fn(e) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, c := range n.children {
+			if c.rect.Intersects(rect) {
+				if !walk(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// All returns every entry in the tree in unspecified order.
+func (t *Tree) All() []Entry {
+	out := make([]Entry, 0, t.size)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			out = append(out, n.entries...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// checkInvariants validates structural invariants; used by tests. With
+// strictFill it also validates the Guttman fill bounds, which hold for
+// incrementally built trees but not necessarily for STR bulk loads (the
+// final tile of a level may be small).
+func (t *Tree) checkInvariants(strictFill bool) error {
+	count := 0
+	var walk func(n *Node, depth int, isRoot bool) (int, error)
+	walk = func(n *Node, depth int, isRoot bool) (int, error) {
+		if n.leaf {
+			if strictFill && !isRoot && (len(n.entries) < minEntries || len(n.entries) > maxEntries) {
+				return 0, fmt.Errorf("leaf fill %d out of [%d,%d]", len(n.entries), minEntries, maxEntries)
+			}
+			for _, e := range n.entries {
+				if !n.rect.Contains(e.Pt) {
+					return 0, fmt.Errorf("entry %v outside leaf rect %v", e.Pt, n.rect)
+				}
+				count++
+			}
+			return depth, nil
+		}
+		lo := minEntries
+		if isRoot {
+			lo = 2
+		}
+		if strictFill && (len(n.children) < lo || len(n.children) > maxEntries) {
+			return 0, fmt.Errorf("internal fill %d out of [%d,%d]", len(n.children), lo, maxEntries)
+		}
+		want := -1
+		for _, c := range n.children {
+			if !n.rect.ContainsRect(c.rect) {
+				return 0, fmt.Errorf("child rect %v outside parent %v", c.rect, n.rect)
+			}
+			d, err := walk(c, depth+1, false)
+			if err != nil {
+				return 0, err
+			}
+			if want == -1 {
+				want = d
+			} else if d != want {
+				return 0, fmt.Errorf("unbalanced tree: leaf depths %d and %d", want, d)
+			}
+		}
+		return want, nil
+	}
+	if _, err := walk(t.root, 0, true); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size %d but %d entries found", t.size, count)
+	}
+	return nil
+}

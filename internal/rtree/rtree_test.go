@@ -1,0 +1,404 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func randEntries(rng *rand.Rand, n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			Pt:  geo.Pt(rng.Float64()*100, rng.Float64()*100),
+			ID:  int32(i),
+			Aux: int32(rng.Intn(1000)),
+		}
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.NearestK(geo.Pt(0, 0), 5); got != nil {
+		t.Errorf("NearestK on empty tree = %v", got)
+	}
+	found := false
+	tr.Search(geo.Rect{Min: geo.Pt(-1, -1), Max: geo.Pt(1, 1)}, func(Entry) bool {
+		found = true
+		return true
+	})
+	if found {
+		t.Error("Search on empty tree found something")
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("empty tree bounds not empty")
+	}
+}
+
+func TestInsertInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	for i, e := range randEntries(rng, 2000) {
+		tr.Insert(e)
+		if i%97 == 0 {
+			if err := tr.checkInvariants(true); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.checkInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", tr.Len())
+	}
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	entries := randEntries(rng, 1500)
+	tr := New()
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	for trial := 0; trial < 100; trial++ {
+		a := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		b := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		rect := geo.RectOf(a).ExpandPoint(b)
+		want := map[int32]bool{}
+		for _, e := range entries {
+			if rect.Contains(e.Pt) {
+				want[e.ID] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.Search(rect, func(e Entry) bool {
+			got[e.ID] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d entries, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	for _, e := range randEntries(rng, 500) {
+		tr.Insert(e)
+	}
+	count := 0
+	tr.Search(tr.Bounds(), func(Entry) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d entries, want 10", count)
+	}
+}
+
+func TestNearestKMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	entries := randEntries(rng, 1000)
+	tr := New()
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geo.Pt(rng.Float64()*120-10, rng.Float64()*120-10)
+		k := 1 + rng.Intn(20)
+		got := tr.NearestK(q, k)
+		if len(got) != k {
+			t.Fatalf("NearestK returned %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(entries))
+		for i, e := range entries {
+			dists[i] = q.Dist(e.Pt)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if math.Abs(nb.Dist-dists[i]) > 1e-9 {
+				t.Fatalf("trial %d: neighbor %d dist %v, want %v", trial, i, nb.Dist, dists[i])
+			}
+			if i > 0 && got[i-1].Dist > nb.Dist+1e-12 {
+				t.Fatalf("results not sorted")
+			}
+		}
+	}
+}
+
+func TestNearestKMoreThanSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New()
+	for _, e := range randEntries(rng, 7) {
+		tr.Insert(e)
+	}
+	got := tr.NearestK(geo.Pt(0, 0), 100)
+	if len(got) != 7 {
+		t.Fatalf("NearestK(k>size) returned %d, want 7", len(got))
+	}
+}
+
+func TestNearestRouteKMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	entries := randEntries(rng, 800)
+	tr := New()
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	for trial := 0; trial < 50; trial++ {
+		nq := 1 + rng.Intn(5)
+		query := make([]geo.Point, nq)
+		for i := range query {
+			query[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		k := 1 + rng.Intn(10)
+		got := tr.NearestRouteK(query, k)
+		dists := make([]float64, len(entries))
+		for i, e := range entries {
+			dists[i] = geo.PointRouteDist(e.Pt, query)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if math.Abs(nb.Dist-dists[i]) > 1e-9 {
+				t.Fatalf("trial %d: neighbor %d dist %v, want %v", trial, i, nb.Dist, dists[i])
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := randEntries(rng, 1200)
+	tr := New()
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	// Delete half, in random order.
+	perm := rng.Perm(len(entries))
+	deleted := map[int32]bool{}
+	for i := 0; i < len(entries)/2; i++ {
+		e := entries[perm[i]]
+		if !tr.Delete(e) {
+			t.Fatalf("Delete(%v) failed", e)
+		}
+		deleted[e.ID] = true
+		if i%101 == 0 {
+			if err := tr.checkInvariants(true); err != nil {
+				t.Fatalf("after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != len(entries)-len(entries)/2 {
+		t.Fatalf("Len = %d after deletes", tr.Len())
+	}
+	// Remaining entries all present; deleted ones gone.
+	got := map[int32]bool{}
+	for _, e := range tr.All() {
+		got[e.ID] = true
+	}
+	for _, e := range entries {
+		if deleted[e.ID] && got[e.ID] {
+			t.Fatalf("deleted entry %d still present", e.ID)
+		}
+		if !deleted[e.ID] && !got[e.ID] {
+			t.Fatalf("live entry %d missing", e.ID)
+		}
+	}
+	if err := tr.checkInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	entries := randEntries(rng, 300)
+	tr := New()
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	for _, e := range entries {
+		if !tr.Delete(e) {
+			t.Fatalf("Delete(%v) failed", e)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if got := tr.All(); len(got) != 0 {
+		t.Fatalf("All() = %d entries after deleting all", len(got))
+	}
+	// Tree is reusable.
+	tr.Insert(entries[0])
+	if tr.Len() != 1 {
+		t.Fatal("reinsert after drain failed")
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New()
+	tr.Insert(Entry{Pt: geo.Pt(1, 1), ID: 1})
+	if tr.Delete(Entry{Pt: geo.Pt(2, 2), ID: 2}) {
+		t.Error("Delete of absent entry reported success")
+	}
+	// Same point, different payload must not match.
+	if tr.Delete(Entry{Pt: geo.Pt(1, 1), ID: 9}) {
+		t.Error("Delete matched wrong payload")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New()
+	p := geo.Pt(5, 5)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Entry{Pt: p, ID: int32(i)})
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.NearestK(p, 100)
+	if len(got) != 100 {
+		t.Fatalf("NearestK over duplicates = %d", len(got))
+	}
+	if !tr.Delete(Entry{Pt: p, ID: 42}) {
+		t.Fatal("failed to delete one duplicate")
+	}
+	if tr.Len() != 99 {
+		t.Fatalf("Len = %d after delete", tr.Len())
+	}
+}
+
+func TestGenerationAdvances(t *testing.T) {
+	tr := New()
+	g0 := tr.Generation()
+	tr.Insert(Entry{Pt: geo.Pt(1, 1), ID: 1})
+	if tr.Generation() == g0 {
+		t.Error("generation unchanged by Insert")
+	}
+	g1 := tr.Generation()
+	tr.Delete(Entry{Pt: geo.Pt(1, 1), ID: 1})
+	if tr.Generation() == g1 {
+		t.Error("generation unchanged by Delete")
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 5, 32, 33, 1000, 5000} {
+		entries := randEntries(rng, n)
+		tr := BulkLoad(append([]Entry(nil), entries...))
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.checkInvariants(false); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := map[int32]bool{}
+		for _, e := range tr.All() {
+			got[e.ID] = true
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: All() returned %d unique ids", n, len(got))
+		}
+	}
+}
+
+func TestBulkLoadThenQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	entries := randEntries(rng, 2000)
+	tr := BulkLoad(append([]Entry(nil), entries...))
+	for trial := 0; trial < 50; trial++ {
+		q := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		got := tr.NearestK(q, 5)
+		dists := make([]float64, len(entries))
+		for i, e := range entries {
+			dists[i] = q.Dist(e.Pt)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if math.Abs(nb.Dist-dists[i]) > 1e-9 {
+				t.Fatalf("bulk-loaded kNN mismatch: %v vs %v", nb.Dist, dists[i])
+			}
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	entries := randEntries(rng, 500)
+	tr := BulkLoad(append([]Entry(nil), entries...))
+	// Dynamic updates on top of a bulk-loaded tree must keep it consistent.
+	extra := randEntries(rng, 200)
+	for i := range extra {
+		extra[i].ID += 10000
+		tr.Insert(extra[i])
+	}
+	for i := 0; i < 250; i++ {
+		if !tr.Delete(entries[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 450 {
+		t.Fatalf("Len = %d, want 450", tr.Len())
+	}
+	if err := tr.checkInvariants(false); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int32]bool{}
+	for _, e := range tr.All() {
+		ids[e.ID] = true
+	}
+	for i := 250; i < 500; i++ {
+		if !ids[entries[i].ID] {
+			t.Fatalf("surviving entry %d missing", entries[i].ID)
+		}
+	}
+	for i := range extra {
+		if !ids[extra[i].ID] {
+			t.Fatalf("inserted entry %d missing", extra[i].ID)
+		}
+	}
+}
+
+// Property: MBRs always tightly contain the data beneath them.
+func TestMBRTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := New()
+	for _, e := range randEntries(rng, 1000) {
+		tr.Insert(e)
+	}
+	var walk func(n *Node) geo.Rect
+	walk = func(n *Node) geo.Rect {
+		want := geo.EmptyRect()
+		if n.IsLeaf() {
+			for _, e := range n.Entries() {
+				want = want.ExpandPoint(e.Pt)
+			}
+		} else {
+			for _, c := range n.Children() {
+				want = want.Union(walk(c))
+			}
+		}
+		if n.Rect() != want {
+			t.Fatalf("node rect %v, tight MBR %v", n.Rect(), want)
+		}
+		return want
+	}
+	walk(tr.Root())
+}

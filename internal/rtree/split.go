@@ -1,0 +1,120 @@
+package rtree
+
+import "repro/internal/geo"
+
+// splitNode splits an overflowing node into two nodes using Guttman's
+// quadratic split. The input node must not be reused afterwards.
+func splitNode(n *Node) (*Node, *Node) {
+	if n.leaf {
+		ga, gb := quadraticSplit(len(n.entries),
+			func(i int) geo.Rect { return geo.RectOf(n.entries[i].Pt) })
+		a := &Node{leaf: true, entries: pick(n.entries, ga)}
+		b := &Node{leaf: true, entries: pick(n.entries, gb)}
+		recomputeRect(a)
+		recomputeRect(b)
+		return a, b
+	}
+	ga, gb := quadraticSplit(len(n.children),
+		func(i int) geo.Rect { return n.children[i].rect })
+	a := &Node{children: pick(n.children, ga)}
+	b := &Node{children: pick(n.children, gb)}
+	recomputeRect(a)
+	recomputeRect(b)
+	return a, b
+}
+
+func pick[T any](items []T, idx []int) []T {
+	out := make([]T, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, items[i])
+	}
+	return out
+}
+
+// quadraticSplit partitions indices 0..n-1 into two groups using Guttman's
+// quadratic PickSeeds/PickNext heuristics, guaranteeing each group ends up
+// with at least minEntries members.
+func quadraticSplit(n int, rectOf func(int) geo.Rect) (groupA, groupB []int) {
+	// PickSeeds: the pair wasting the most area if grouped together.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		ri := rectOf(i)
+		for j := i + 1; j < n; j++ {
+			rj := rectOf(j)
+			d := ri.Union(rj).Area() - ri.Area() - rj.Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	groupA = append(groupA, seedA)
+	groupB = append(groupB, seedB)
+	rectA, rectB := rectOf(seedA), rectOf(seedB)
+
+	assigned := make([]bool, n)
+	assigned[seedA], assigned[seedB] = true, true
+	remaining := n - 2
+
+	for remaining > 0 {
+		// If one group must absorb everything left to reach minEntries,
+		// assign the rest wholesale.
+		if len(groupA)+remaining == minEntries {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					groupA = append(groupA, i)
+					rectA = rectA.Union(rectOf(i))
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		if len(groupB)+remaining == minEntries {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					groupB = append(groupB, i)
+					rectB = rectB.Union(rectOf(i))
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		// PickNext: the index with the greatest preference difference.
+		next, bestDiff := -1, -1.0
+		var dA, dB float64
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			r := rectOf(i)
+			da := rectA.Enlargement(r)
+			db := rectB.Enlargement(r)
+			diff := da - db
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, next, dA, dB = diff, i, da, db
+			}
+		}
+		assigned[next] = true
+		remaining--
+		// Resolve ties: smaller enlargement, then smaller area, then count.
+		toA := dA < dB
+		if dA == dB {
+			if rectA.Area() != rectB.Area() {
+				toA = rectA.Area() < rectB.Area()
+			} else {
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, next)
+			rectA = rectA.Union(rectOf(next))
+		} else {
+			groupB = append(groupB, next)
+			rectB = rectB.Union(rectOf(next))
+		}
+	}
+	return groupA, groupB
+}

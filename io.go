@@ -1,0 +1,41 @@
+package rknnt
+
+import (
+	"io"
+
+	"repro/internal/dataio"
+)
+
+// WriteRoutesCSV writes routes in the CSV layout emitted by cmd/rknnt-gen
+// (route_id, seq, stop_id, x_km, y_km).
+func WriteRoutesCSV(w io.Writer, routes []Route) error {
+	return dataio.WriteRoutesCSV(w, routes)
+}
+
+// ReadRoutesCSV parses the WriteRoutesCSV layout.
+func ReadRoutesCSV(r io.Reader) ([]Route, error) {
+	return dataio.ReadRoutesCSV(r)
+}
+
+// WriteTransitionsCSV writes transitions in the CSV layout emitted by
+// cmd/rknnt-gen (transition_id, ox_km, oy_km, dx_km, dy_km, time).
+func WriteTransitionsCSV(w io.Writer, ts []Transition) error {
+	return dataio.WriteTransitionsCSV(w, ts)
+}
+
+// ReadTransitionsCSV parses the WriteTransitionsCSV layout.
+func ReadTransitionsCSV(r io.Reader) ([]Transition, error) {
+	return dataio.ReadTransitionsCSV(r)
+}
+
+// WriteSnapshot serialises a dataset plus an optional network as one
+// binary blob, for fast reload of large generated workloads.
+func WriteSnapshot(w io.Writer, ds *Dataset, g *Network) error {
+	return dataio.WriteSnapshot(w, ds, g)
+}
+
+// ReadSnapshot deserialises a WriteSnapshot blob. The network is nil when
+// none was stored.
+func ReadSnapshot(r io.Reader) (*Dataset, *Network, error) {
+	return dataio.ReadSnapshot(r)
+}

@@ -1,0 +1,165 @@
+package rknnt
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func smallCity(t testing.TB) *City {
+	t.Helper()
+	c, err := GenerateCity(CityConfig{
+		Seed:  5,
+		Width: 10, Height: 10,
+		GridStep:       1.5,
+		Jitter:         0.2,
+		NumRoutes:      20,
+		RouteMinStops:  3,
+		RouteMaxStops:  10,
+		NumTransitions: 400,
+		HotspotCount:   6,
+		HotspotSigma:   1.2,
+		BackgroundFrac: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	c := smallCity(t)
+	db, err := Open(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRoutes() != 20 || db.NumTransitions() != 400 {
+		t.Fatalf("sizes %d/%d", db.NumRoutes(), db.NumTransitions())
+	}
+	rng := rand.New(rand.NewSource(1))
+	query := GenerateQuery(c, rng, 5, 2)
+	var want []TransitionID
+	for _, m := range []Method{FilterRefine, Voronoi, DivideConquer, BruteForce} {
+		res, err := db.RkNNT(query, QueryOptions{K: 5, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res.Transitions
+			continue
+		}
+		if len(res.Transitions) != len(want) {
+			t.Fatalf("method %v: %d results, want %d", m, len(res.Transitions), len(want))
+		}
+		for i := range want {
+			if res.Transitions[i] != want[i] {
+				t.Fatalf("method %v result mismatch", m)
+			}
+		}
+	}
+}
+
+func TestPublicAPIDynamic(t *testing.T) {
+	c := smallCity(t)
+	db, err := Open(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTransition(Transition{ID: 9999, O: Pt(1, 1), D: Pt(2, 2), Time: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Transition(9999) == nil {
+		t.Fatal("added transition not found")
+	}
+	if n := db.ExpireTransitionsBefore(100); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	if !db.RemoveRoute(1) {
+		t.Fatal("remove route failed")
+	}
+	if db.Route(1) != nil {
+		t.Fatal("removed route still present")
+	}
+	if err := db.AddRoute(Route{ID: 1, Stops: []StopID{500, 501}, Pts: []Point{Pt(0, 0), Pt(1, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIPlanner(t *testing.T) {
+	c := smallCity(t)
+	db, err := Open(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.NewPlanner(c.Graph, 2, Voronoi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, st := p.PrecomputeTimes()
+	if rt <= 0 || st <= 0 {
+		t.Error("precompute times not recorded")
+	}
+	rng := rand.New(rand.NewSource(2))
+	s, e, ok := c.ODPair(rng, 3, 6)
+	if !ok {
+		t.Fatal("no OD pair")
+	}
+	_, sd, _ := c.Graph.ShortestPath(s, e)
+	tau := sd * 1.3
+	maxRes, ok, err := p.Plan(s, e, tau, PlanOptions{Objective: Maximize})
+	if err != nil || !ok {
+		t.Fatalf("Plan: %v %v", err, ok)
+	}
+	enum, ok2 := p.PlanEnumerated(s, e, tau, PlanOptions{Objective: Maximize})
+	if !ok2 || enum.Count != maxRes.Count {
+		t.Fatalf("enumerated %d vs plan %d", enum.Count, maxRes.Count)
+	}
+	bf, ok3, err := db.PlanBruteForce(c.Graph, s, e, tau, 2, PlanOptions{Objective: Maximize})
+	if err != nil || !ok3 || bf.Count != maxRes.Count {
+		t.Fatalf("brute force %v vs plan %d", bf, maxRes.Count)
+	}
+	// kNN sanity: the nearest route to one of its own stops includes it.
+	r := db.Route(2)
+	if r != nil {
+		ids := db.KNNRoutes(r.Pts[0], 3)
+		found := false
+		for _, id := range ids {
+			if id == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("route not among 3-NN of its own stop")
+		}
+	}
+}
+
+// Concurrent read-only queries must be race-free (the NList cache is the
+// only shared mutable state on the query path).
+func TestConcurrentQueries(t *testing.T) {
+	c := smallCity(t)
+	db, err := Open(c.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	queries := make([][]Point, 8)
+	for i := range queries {
+		queries[i] = GenerateQuery(c, rng, 4, 2)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := db.RkNNT(q, QueryOptions{K: 3, Method: DivideConquer}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
