@@ -1,0 +1,197 @@
+// Command rknnt-serve runs the RkNNT serving layer: it loads or
+// generates a dataset, builds the indexes and serves the HTTP/JSON API
+// of internal/server (queries, planning, batched updates, standing
+// queries over SSE).
+//
+// Data sources, in precedence order:
+//
+//	rknnt-serve -snapshot data/city.snapshot        # dataio snapshot (routes+transitions+graph)
+//	rknnt-serve -csv data/                          # routes.csv + transitions.csv
+//	rknnt-serve -gtfs gtfs/                         # GTFS feed (routes only; transitions arrive via the API)
+//	rknnt-serve -preset nyc -scale 8                # synthetic city (default: la)
+//
+// Then:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/rknnt -d '{"query":[{"x":10,"y":12},{"x":14,"y":12}],"k":10}'
+//	curl -N 'localhost:8080/v1/watch?p=10,12&p=14,12&k=10'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/gtfs"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	snapshot := flag.String("snapshot", "", "load a dataio snapshot (routes, transitions and network)")
+	csvDir := flag.String("csv", "", "load routes.csv and transitions.csv from this directory")
+	gtfsDir := flag.String("gtfs", "", "load a GTFS feed from this directory (routes only)")
+	preset := flag.String("preset", "la", "synthetic city preset: la, nyc or syn")
+	scale := flag.Int("scale", 8, "divide the paper's cardinalities by this factor")
+	synN := flag.Int("syn", 100000, "transition count for the syn preset")
+	cacheSize := flag.Int("cache", 4096, "query-result LRU capacity")
+	maxBatch := flag.Int("max-batch", 256, "max writes coalesced per batch")
+	flag.Parse()
+
+	ds, g, vertexOf, err := loadData(*snapshot, *csvDir, *gtfsDir, *preset, *scale, *synN)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexing %d routes / %d transitions...\n", len(ds.Routes), len(ds.Transitions))
+	t0 := time.Now()
+	x, err := index.Build(ds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexes built in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	engine := serve.New(x, serve.Options{
+		CacheSize: *cacheSize,
+		MaxBatch:  *maxBatch,
+		Network:   g,
+		VertexOf:  vertexOf,
+	})
+	defer engine.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nshutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	fmt.Printf("serving on %s (planning %s)\n", *addr, enabled(g != nil))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rknnt-serve:", err)
+	os.Exit(1)
+}
+
+func enabled(b bool) string {
+	if b {
+		return "enabled"
+	}
+	return "disabled: no network"
+}
+
+// loadData resolves the configured data source into a dataset, an
+// optional bus network and the stop-to-vertex translation table.
+func loadData(snapshot, csvDir, gtfsDir, preset string, scale, synN int) (*model.Dataset, *graph.Graph, map[model.StopID]graph.VertexID, error) {
+	switch {
+	case snapshot != "":
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		defer f.Close()
+		ds, g, err := dataio.ReadSnapshot(f)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if g == nil {
+			// Snapshot stored without a network: serve with planning
+			// disabled rather than crash.
+			return ds, nil, nil, nil
+		}
+		// Snapshots come from the generator, where vertex i is stop i.
+		return ds, g, identityVertices(g), nil
+
+	case csvDir != "":
+		routes, err := readCSV(csvDir+"/routes.csv", dataio.ReadRoutesCSV)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		transitions, err := readCSV(csvDir+"/transitions.csv", dataio.ReadTransitionsCSV)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ds := &model.Dataset{Routes: routes, Transitions: transitions}
+		g, vertexOf, err := graph.FromRoutes(routes)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ds, g, vertexOf, nil
+
+	case gtfsDir != "":
+		feed, err := gtfs.Load(os.DirFS(gtfsDir))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ds := &model.Dataset{Routes: feed.Routes}
+		g, vertexOf, err := graph.FromRoutes(feed.Routes)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ds, g, vertexOf, nil
+
+	default:
+		var cfg gen.Config
+		switch preset {
+		case "la":
+			cfg = gen.LA(scale)
+		case "nyc":
+			cfg = gen.NYC(scale)
+		case "syn":
+			cfg = gen.Synthetic(scale, synN)
+		default:
+			return nil, nil, nil, fmt.Errorf("unknown preset %q (want la, nyc or syn)", preset)
+		}
+		fmt.Printf("generating %s city (scale 1/%d)...\n", preset, scale)
+		city, err := gen.Generate(cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return city.Dataset, city.Graph, identityVertices(city.Graph), nil
+	}
+}
+
+func identityVertices(g *graph.Graph) map[model.StopID]graph.VertexID {
+	vertexOf := make(map[model.StopID]graph.VertexID, g.NumVertices())
+	for i := 0; i < g.NumVertices(); i++ {
+		vertexOf[model.StopID(i)] = graph.VertexID(i)
+	}
+	return vertexOf
+}
+
+func readCSV[T any](path string, read func(r io.Reader) ([]T, error)) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return read(f)
+}

@@ -1,0 +1,190 @@
+// The serving example exercises the HTTP serving layer end-to-end: it
+// starts the API over a small synthetic city in-process, then plays a
+// route operator's session against it with plain HTTP — RkNNT queries
+// (watching the cache warm up), kNN lookups, batched passenger updates,
+// a standing continuous query over SSE, MaxRkNNT route planning and the
+// serving statistics.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	rknnt "repro"
+)
+
+func main() {
+	// A compact city keeps planner precomputation instant.
+	city, err := rknnt.GenerateCity(rknnt.CityConfig{
+		Seed:  5,
+		Width: 8, Height: 8,
+		GridStep:       1.6,
+		Jitter:         0.2,
+		NumRoutes:      12,
+		RouteMinStops:  3,
+		RouteMaxStops:  8,
+		NumTransitions: 150,
+		HotspotCount:   5,
+		HotspotSigma:   1.0,
+		BackgroundFrac: 0.2,
+	})
+	check(err)
+	db, err := rknnt.Open(city.Dataset)
+	check(err)
+
+	vertexOf := make(map[rknnt.StopID]rknnt.VertexID, city.Graph.NumVertices())
+	for i := 0; i < city.Graph.NumVertices(); i++ {
+		vertexOf[rknnt.StopID(i)] = rknnt.VertexID(i)
+	}
+	engine := db.NewEngine(rknnt.EngineOptions{Network: city.Graph, VertexOf: vertexOf})
+	defer engine.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	srv := &http.Server{Handler: rknnt.NewHandler(engine)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving %d routes / %d transitions on %s\n\n",
+		engine.NumRoutes(), engine.NumTransitions(), base)
+
+	// Liveness.
+	fmt.Println("GET /healthz ->", get(base+"/healthz"))
+
+	// The same RkNNT query twice: the second hit is served from the
+	// epoch-tagged LRU cache.
+	r0 := city.Dataset.Routes[0]
+	query := map[string]any{
+		"query": []map[string]float64{
+			{"x": r0.Pts[0].X, "y": r0.Pts[0].Y},
+			{"x": r0.Pts[1].X, "y": r0.Pts[1].Y},
+		},
+		"k": 4,
+	}
+	first := postJSON(base+"/v1/rknnt", query)
+	fmt.Println("\nPOST /v1/rknnt        ->", summary(first))
+	second := postJSON(base+"/v1/rknnt", query)
+	fmt.Println("POST /v1/rknnt again  ->", summary(second), "(cached)")
+
+	// Nearest routes to the city centre.
+	fmt.Println("\nPOST /v1/knn ->", postJSON(base+"/v1/knn", map[string]any{
+		"point": map[string]float64{"x": 4, "y": 4}, "k": 3,
+	}))
+
+	// A standing query over SSE: subscribe, then stream the deltas the
+	// arriving passengers below will trigger.
+	watchURL := fmt.Sprintf("%s/v1/watch?k=4&p=%g,%g&p=%g,%g",
+		base, r0.Pts[0].X, r0.Pts[0].Y, r0.Pts[1].X, r0.Pts[1].Y)
+	events := make(chan string, 64)
+	resp, err := http.Get(watchURL)
+	check(err)
+	defer resp.Body.Close()
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				events <- strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+	fmt.Println("\nGET /v1/watch (SSE) -> snapshot:", <-events)
+
+	// New passengers arrive in one batch near the watched route; the
+	// standing query streams the deltas.
+	var batch []map[string]any
+	for i := 0; i < 3; i++ {
+		f := float64(i+1) / 4
+		o := r0.Pts[0]
+		d := r0.Pts[1]
+		batch = append(batch, map[string]any{
+			"id": 900000 + i,
+			"o":  map[string]float64{"x": o.X + 0.05*f, "y": o.Y + 0.05},
+			"d":  map[string]float64{"x": d.X - 0.05*f, "y": d.Y - 0.05},
+		})
+	}
+	fmt.Println("\nPOST /v1/transitions ->", postJSON(base+"/v1/transitions", map[string]any{"transitions": batch}))
+	for i := 0; i < len(batch); i++ {
+		select {
+		case ev := <-events:
+			fmt.Println("  SSE delta:", ev)
+		case <-time.After(5 * time.Second):
+			fmt.Println("  (no further deltas)")
+		}
+	}
+
+	// Plan the most attractive route between the first route's
+	// endpoints within 3x its travel distance.
+	fmt.Println("\nPOST /v1/plan ->", summary(postJSON(base+"/v1/plan", map[string]any{
+		"source_stop": r0.Stops[0],
+		"target_stop": r0.Stops[len(r0.Stops)-1],
+		"tau":         3 * r0.TravelDist(),
+		"k":           4,
+		"method":      "vo",
+	})))
+
+	// Serving counters: endpoint latency/QPS plus engine cache/batch
+	// behaviour.
+	var stats struct {
+		Engine struct {
+			Epoch      uint64 `json:"epoch"`
+			CacheHits  uint64 `json:"cache_hits"`
+			Batches    uint64 `json:"batches"`
+			BatchedOps uint64 `json:"batched_ops"`
+			Standing   int64  `json:"standing_queries"`
+		} `json:"engine"`
+	}
+	check(json.Unmarshal([]byte(get(base+"/v1/stats")), &stats))
+	fmt.Printf("\nGET /v1/stats -> epoch %d, %d cache hits, %d ops in %d batches, %d standing query\n",
+		stats.Engine.Epoch, stats.Engine.CacheHits, stats.Engine.BatchedOps,
+		stats.Engine.Batches, stats.Engine.Standing)
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return strings.TrimSpace(buf.String())
+}
+
+func postJSON(url string, body any) string {
+	b, err := json.Marshal(body)
+	check(err)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	check(err)
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return strings.TrimSpace(buf.String())
+}
+
+// summary trims long transition lists out of a JSON reply for display.
+func summary(s string) string {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s), &m); err != nil {
+		return s
+	}
+	if ts, ok := m["transitions"].([]any); ok && len(ts) > 6 {
+		m["transitions"] = append(ts[:6], "...")
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		return s
+	}
+	return string(out)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serving example:", err)
+		os.Exit(1)
+	}
+}

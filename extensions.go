@@ -2,10 +2,14 @@ package rknnt
 
 import (
 	"io/fs"
+	"net/http"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/gtfs"
 	"repro/internal/monitor"
+	"repro/internal/serve"
+	"repro/internal/server"
 )
 
 // GTFSFeed is a GTFS feed reduced to the RkNNT data model: representative
@@ -83,3 +87,46 @@ func (mo *Monitor) ExpireBefore(cutoff int64) []MonitorEvent { return mo.m.Expir
 // RouteChanged recomputes every standing query after route additions or
 // removals and returns the deltas.
 func (mo *Monitor) RouteChanged() ([]MonitorEvent, error) { return mo.m.RouteChanged() }
+
+// Engine is the concurrency-safe serving layer over a DB: an
+// RWMutex-guarded single-writer/many-reader core with coalesced write
+// batches, an epoch-invalidated LRU query cache, in-flight query
+// deduplication and standing-query fan-out. See internal/serve.
+type Engine = serve.Engine
+
+// EngineOptions configures an Engine (cache size, batch limits, and the
+// optional bus network that enables Plan).
+type EngineOptions = serve.Options
+
+// EngineStats is a snapshot of an Engine's serving counters.
+type EngineStats = serve.Stats
+
+// StandingQuery is a registered continuous RkNNT query with its
+// incremental event stream.
+type StandingQuery = serve.Standing
+
+// NewEngine wraps the database in a serving engine. The engine assumes
+// ownership of all mutations: once serving starts, route updates
+// through it rather than the DB. Close the engine when done.
+func (db *DB) NewEngine(opts EngineOptions) *Engine { return serve.New(db.idx, opts) }
+
+// NewHandler exposes an engine as the HTTP/JSON serving API
+// (see internal/server for the endpoint list).
+func NewHandler(e *Engine) http.Handler { return server.New(e) }
+
+// Serve is the one-call serving entry point: it wraps the database in
+// an engine and serves the HTTP API on addr until the listener fails.
+// For shutdown control, use NewEngine + NewHandler with your own
+// http.Server. Header and idle timeouts guard against slow-client
+// connection exhaustion; streaming (/v1/watch) is unaffected.
+func Serve(addr string, db *DB, opts EngineOptions) error {
+	e := db.NewEngine(opts)
+	defer e.Close()
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewHandler(e),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}

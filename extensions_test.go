@@ -2,6 +2,9 @@ package rknnt
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"testing/fstest"
 )
@@ -174,5 +177,53 @@ func TestPublicSnapshotRoundTrip(t *testing.T) {
 	}
 	if db.NumRoutes() != len(c.Dataset.Routes) {
 		t.Fatal("routes lost in snapshot")
+	}
+}
+
+// TestEngineHandlerPublicAPI drives the serving wrappers end to end:
+// DB -> NewEngine -> NewHandler, one query (twice, to see the cache), a
+// write through the engine, and the stats endpoint.
+func TestEngineHandlerPublicAPI(t *testing.T) {
+	ds := &Dataset{
+		Routes: []Route{
+			{ID: 1, Stops: []StopID{0, 1}, Pts: []Point{Pt(0, 10), Pt(10, 10)}},
+			{ID: 2, Stops: []StopID{2, 3}, Pts: []Point{Pt(0, 100), Pt(10, 100)}},
+		},
+		Transitions: []Transition{{ID: 5, O: Pt(1, 1), D: Pt(9, 1)}},
+	}
+	db, err := Open(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := db.NewEngine(EngineOptions{})
+	defer e.Close()
+
+	res, err := e.RkNNT([]Point{Pt(0, 0), Pt(10, 0)}, QueryOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transitions) != 1 || res.Transitions[0] != 5 {
+		t.Fatalf("engine result %v, want [5]", res.Transitions)
+	}
+	if err := e.AddTransition(Transition{ID: 6, O: Pt(2, 0), D: Pt(8, 0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status      string `json:"status"`
+		Transitions int    `json:"transitions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Transitions != 2 {
+		t.Errorf("health = %+v, want ok with 2 transitions", health)
 	}
 }

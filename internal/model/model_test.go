@@ -1,0 +1,62 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestRouteLenAndTravelDist(t *testing.T) {
+	r := Route{
+		ID:    1,
+		Stops: []StopID{0, 1, 2},
+		Pts:   []geo.Point{geo.Pt(0, 0), geo.Pt(3, 4), geo.Pt(3, 10)},
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	// 0,0 -> 3,4 is 5; 3,4 -> 3,10 is 6.
+	if got := r.TravelDist(); math.Abs(got-11) > 1e-12 {
+		t.Errorf("TravelDist = %g, want 11", got)
+	}
+}
+
+func TestTransitionEndpoints(t *testing.T) {
+	tr := Transition{ID: 2, O: geo.Pt(1, 2), D: geo.Pt(3, 4), Time: 99}
+	ep := tr.Endpoints()
+	if ep[0] != geo.Pt(1, 2) || ep[1] != geo.Pt(3, 4) {
+		t.Errorf("Endpoints = %v", ep)
+	}
+}
+
+func TestDatasetLookups(t *testing.T) {
+	ds := Dataset{
+		Routes: []Route{
+			{ID: 1, Stops: []StopID{0, 1}, Pts: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}},
+			{ID: 7, Stops: []StopID{2, 3}, Pts: []geo.Point{geo.Pt(0, 1), geo.Pt(1, 1)}},
+		},
+		Transitions: []Transition{
+			{ID: 10, O: geo.Pt(0, 0), D: geo.Pt(1, 1)},
+			{ID: 20, O: geo.Pt(2, 2), D: geo.Pt(3, 3)},
+		},
+	}
+	if r := ds.RouteByID(7); r == nil || r.ID != 7 {
+		t.Errorf("RouteByID(7) = %v", r)
+	}
+	if r := ds.RouteByID(99); r != nil {
+		t.Errorf("RouteByID(99) = %v, want nil", r)
+	}
+	// The returned pointer aliases the dataset slice (mutation is
+	// visible), which Open/index.Build rely on copying away.
+	ds.RouteByID(1).Stops[0] = 42
+	if ds.Routes[0].Stops[0] != 42 {
+		t.Error("RouteByID does not alias the dataset")
+	}
+	if tr := ds.TransitionByID(20); tr == nil || tr.ID != 20 {
+		t.Errorf("TransitionByID(20) = %v", tr)
+	}
+	if tr := ds.TransitionByID(99); tr != nil {
+		t.Errorf("TransitionByID(99) = %v, want nil", tr)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"errors"
+
+	"repro/internal/model"
+	"repro/internal/monitor"
+)
+
+// ErrClosed is returned for writes submitted after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+type opKind int
+
+const (
+	opAddTransition opKind = iota
+	opRemoveTransition
+	opExpire
+)
+
+// writeOp is one queued mutation. The writer goroutine coalesces queued
+// ops and applies them under a single write-lock acquisition; done is
+// signalled with the per-op outcome once the batch commits.
+type writeOp struct {
+	kind   opKind
+	t      model.Transition // opAddTransition
+	id     model.TransitionID
+	cutoff int64
+	done   chan opResult
+}
+
+type opResult struct {
+	err     error
+	existed bool // opRemoveTransition: the transition was present
+	n       int  // opExpire: transitions removed
+}
+
+// writer is the single consumer of writeCh. It drains whatever has
+// accumulated since the last batch and applies it in one critical
+// section, so N concurrent writers cost one lock acquisition, one epoch
+// bump and one cache purge instead of N.
+func (e *Engine) writer() {
+	defer e.wg.Done()
+	for {
+		var first writeOp
+		select {
+		case first = <-e.writeCh:
+		case <-e.quit:
+			e.drainClosed()
+			return
+		}
+		batch := append(e.batchBuf[:0], first)
+		for len(batch) < e.opts.MaxBatch {
+			select {
+			case op := <-e.writeCh:
+				batch = append(batch, op)
+			default:
+				goto apply
+			}
+		}
+	apply:
+		e.batchBuf = batch
+		e.applyBatch(batch)
+	}
+}
+
+// drainClosed fails every op still queued at Close time.
+func (e *Engine) drainClosed() {
+	for {
+		select {
+		case op := <-e.writeCh:
+			op.done <- opResult{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// applyBatch applies a coalesced batch of mutations in one write-lock
+// acquisition, bumps the epoch, purges the query cache and broadcasts
+// the standing-query deltas. The purge and broadcast happen before the
+// lock is released: broadcasting outside it would let a racing route
+// commit deliver its deltas first, and subscribers must see deltas in
+// commit order (an out-of-order add/remove pair would corrupt their
+// incremental result sets with no resync to save them).
+func (e *Engine) applyBatch(batch []writeOp) {
+	results := make([]opResult, len(batch))
+	var events []monitor.Event
+
+	e.mu.Lock()
+	for i, op := range batch {
+		switch op.kind {
+		case opAddTransition:
+			evs, err := e.mon.Add(op.t)
+			results[i] = opResult{err: err}
+			events = append(events, evs...)
+		case opRemoveTransition:
+			evs, existed := e.mon.Remove(op.id)
+			results[i] = opResult{existed: existed}
+			events = append(events, evs...)
+		case opExpire:
+			before := e.idx.NumTransitions()
+			evs := e.mon.ExpireBefore(op.cutoff)
+			results[i] = opResult{n: before - e.idx.NumTransitions()}
+			events = append(events, evs...)
+		}
+	}
+	e.epoch.Add(1)
+	e.cache.Purge()
+	e.broadcast(events)
+	e.mu.Unlock()
+
+	e.batches.Add(1)
+	e.batchedOps.Add(uint64(len(batch)))
+	for i := range batch {
+		batch[i].done <- results[i]
+	}
+}
+
+// submit enqueues one op and waits for its batch to commit. The close
+// flag is checked under closeMu so that no op can be enqueued after
+// Close has cut the writer loose: Close takes the write side of closeMu
+// before signalling quit, which waits out any in-flight send.
+func (e *Engine) submit(op writeOp) opResult {
+	op.done = make(chan opResult, 1)
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return opResult{err: ErrClosed}
+	}
+	e.writeCh <- op
+	e.closeMu.RUnlock()
+	return <-op.done
+}
+
+// submitMany enqueues every op before waiting on any of them, so one
+// caller's batch coalesces into as few write batches as possible
+// instead of paying one commit per op.
+func (e *Engine) submitMany(n int, mk func(i int) writeOp) []opResult {
+	results := make([]opResult, n)
+	done := make([]chan opResult, n)
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		for i := range results {
+			results[i] = opResult{err: ErrClosed}
+		}
+		return results
+	}
+	for i := 0; i < n; i++ {
+		op := mk(i)
+		op.done = make(chan opResult, 1)
+		done[i] = op.done
+		e.writeCh <- op
+	}
+	e.closeMu.RUnlock()
+	for i := range done {
+		results[i] = <-done[i]
+	}
+	return results
+}

@@ -1,0 +1,454 @@
+// Package serve turns the single-threaded RkNNT index into a
+// concurrency-safe serving engine: the single-writer/many-reader core
+// behind the HTTP API in internal/server.
+//
+// Design:
+//
+//   - An RWMutex guards the index. Queries hold the read side; all
+//     mutations are funnelled through one writer goroutine that holds
+//     the write side, so queries observe a consistent snapshot and the
+//     paper's algorithms need no internal locking.
+//   - Transition writes (add / remove / expire) are queued and
+//     coalesced: whatever has accumulated while the previous batch was
+//     committing is applied under a single lock acquisition, one epoch
+//     bump and one cache purge — the batching the ROADMAP's serving
+//     scenario calls for.
+//   - An epoch counter versions the index. Each committed batch bumps
+//     it; the LRU query-result cache is purged on every bump, and
+//     in-flight deduplication keys include the epoch so a query never
+//     adopts a result computed over an older snapshot.
+//   - Identical concurrent queries (same geometry, k, method,
+//     semantics, time window) compute once and share the result.
+//   - Standing queries are maintained incrementally by the existing
+//     internal/monitor and their deltas fanned out to subscribers
+//     (server-sent events at the HTTP layer).
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/monitor"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize is the query-result LRU capacity (entries). Default 1024.
+	CacheSize int
+	// MaxBatch caps how many queued writes one batch may coalesce.
+	// Default 256.
+	MaxBatch int
+	// QueueDepth is the write-queue buffer. Writers block (backpressure)
+	// once this many ops are queued. Default 1024.
+	QueueDepth int
+	// EventBuffer is the per-subscriber standing-query event buffer;
+	// events beyond it are dropped (and counted). Default 256.
+	EventBuffer int
+
+	// Network optionally attaches the bus-network graph, enabling Plan.
+	// VertexOf translates stop IDs to network vertices.
+	Network  *graph.Graph
+	VertexOf map[model.StopID]graph.VertexID
+}
+
+func (o *Options) fill() {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = 256
+	}
+}
+
+// Engine is a concurrency-safe RkNNT serving engine over one index.
+// All methods are safe for concurrent use.
+type Engine struct {
+	opts Options
+
+	mu  sync.RWMutex // guards idx (and mon's index mutations)
+	idx *index.Index
+	mon *monitor.Monitor
+
+	epoch  atomic.Uint64
+	cache  *lruCache
+	flight flightGroup
+
+	writeCh  chan writeOp
+	batchBuf []writeOp // writer-goroutine scratch
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	closeMu  sync.RWMutex
+	closed   bool
+
+	batches     atomic.Uint64
+	batchedOps  atomic.Uint64
+	dedupHits   atomic.Uint64
+	dropped     atomic.Uint64
+	queriesRun  atomic.Uint64
+	statMu      sync.Mutex
+	queryTotals core.Stats // cumulative pruning counters of executed queries
+
+	subMu   sync.Mutex
+	subs    map[int]*subscriber
+	nextSub int
+
+	standing atomic.Int64
+
+	planMu sync.Mutex
+	plans  map[plannerKey]*plannerEntry
+}
+
+// New wraps an index in a serving engine. The engine assumes ownership
+// of all mutations: once serving starts, do not mutate idx directly.
+func New(idx *index.Index, opts Options) *Engine {
+	opts.fill()
+	e := &Engine{
+		opts:    opts,
+		idx:     idx,
+		mon:     monitor.New(idx),
+		cache:   newLRUCache(opts.CacheSize),
+		writeCh: make(chan writeOp, opts.QueueDepth),
+		quit:    make(chan struct{}),
+		subs:    make(map[int]*subscriber),
+		plans:   make(map[plannerKey]*plannerEntry),
+	}
+	e.wg.Add(1)
+	go e.writer()
+	return e
+}
+
+// Close stops the writer goroutine. Pending writes fail with ErrClosed;
+// queries keep working (the index stays readable).
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return
+	}
+	e.closed = true
+	e.closeMu.Unlock()
+	close(e.quit)
+	e.wg.Wait()
+}
+
+// Epoch returns the current index version. It advances on every
+// committed write batch and every route change.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// Network returns the attached bus-network graph, or nil.
+func (e *Engine) Network() *graph.Graph { return e.opts.Network }
+
+// VertexOf returns the stop-to-vertex translation table, or nil.
+func (e *Engine) VertexOf() map[model.StopID]graph.VertexID { return e.opts.VertexOf }
+
+// QueryResult is a cached-or-computed RkNNT answer. Transitions is
+// shared across callers and must not be modified.
+type QueryResult struct {
+	Transitions []model.TransitionID
+	Stats       core.Stats
+	Cached      bool // served from the result cache
+	Shared      bool // deduplicated against an identical in-flight query
+	Epoch       uint64
+}
+
+// RkNNT answers an RkNNT query against the current snapshot, consulting
+// the result cache and deduplicating against identical in-flight
+// queries.
+func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, error) {
+	epoch := e.epoch.Load()
+	key := queryKey(epoch, query, opts)
+	if v, ok := e.cache.Get(key); ok {
+		res := v.(*QueryResult)
+		return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Cached: true, Epoch: res.Epoch}, nil
+	}
+	v, err, shared := e.flight.Do(key, func() (any, error) {
+		ids, stats, err := func() ([]model.TransitionID, *core.Stats, error) {
+			// deferred so a panicking query cannot leave the engine
+			// read-locked (which would wedge the write path for good).
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return core.RkNNT(e.idx, query, opts)
+		}()
+		if err != nil {
+			return nil, err
+		}
+		e.queriesRun.Add(1)
+		e.statMu.Lock()
+		e.queryTotals.Filter += stats.Filter
+		e.queryTotals.Verify += stats.Verify
+		e.queryTotals.FilterPoints += stats.FilterPoints
+		e.queryTotals.FilterRoutes += stats.FilterRoutes
+		e.queryTotals.RefineNodes += stats.RefineNodes
+		e.queryTotals.Candidates += stats.Candidates
+		e.queryTotals.Results += stats.Results
+		e.statMu.Unlock()
+		res := &QueryResult{Transitions: ids, Stats: *stats, Epoch: epoch}
+		e.cache.Put(key, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		e.dedupHits.Add(1)
+		res := v.(*QueryResult)
+		return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Shared: true, Epoch: res.Epoch}, nil
+	}
+	return v.(*QueryResult), nil
+}
+
+// KNNRoutes returns the k routes nearest to p, nearest first.
+func (e *Engine) KNNRoutes(p geo.Point, k int) ([]model.RouteID, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return core.KNNRoutes(e.idx, p, k), nil
+}
+
+// AddTransition queues one transition for the next write batch and
+// waits for it to commit.
+func (e *Engine) AddTransition(t model.Transition) error {
+	return e.submit(writeOp{kind: opAddTransition, t: t}).err
+}
+
+// AddTransitions queues a whole slice before waiting, so the ops
+// coalesce into as few write batches (lock acquisitions, epoch bumps,
+// cache purges) as possible. errs[i] is the outcome of ts[i].
+func (e *Engine) AddTransitions(ts []model.Transition) []error {
+	results := e.submitMany(len(ts), func(i int) writeOp {
+		return writeOp{kind: opAddTransition, t: ts[i]}
+	})
+	errs := make([]error, len(ts))
+	for i, r := range results {
+		errs[i] = r.err
+	}
+	return errs
+}
+
+// RemoveTransition queues a removal; it reports whether the transition
+// existed at commit time.
+func (e *Engine) RemoveTransition(id model.TransitionID) (bool, error) {
+	r := e.submit(writeOp{kind: opRemoveTransition, id: id})
+	return r.existed, r.err
+}
+
+// RemoveTransitions queues a whole slice of removals before waiting
+// (see AddTransitions). existed[i] reports whether ids[i] was present;
+// err is the first submission failure (ErrClosed), if any.
+func (e *Engine) RemoveTransitions(ids []model.TransitionID) (existed []bool, err error) {
+	results := e.submitMany(len(ids), func(i int) writeOp {
+		return writeOp{kind: opRemoveTransition, id: ids[i]}
+	})
+	existed = make([]bool, len(ids))
+	for i, r := range results {
+		existed[i] = r.existed
+		if err == nil {
+			err = r.err
+		}
+	}
+	return existed, err
+}
+
+// ExpireTransitionsBefore queues a sliding-window expiry and returns
+// how many transitions it removed.
+func (e *Engine) ExpireTransitionsBefore(cutoff int64) (int, error) {
+	r := e.submit(writeOp{kind: opExpire, cutoff: cutoff})
+	return r.n, r.err
+}
+
+// AddRoute indexes a new route. The returned error covers both the
+// insert itself and the standing-query recomputation.
+func (e *Engine) AddRoute(r model.Route) error {
+	errs, recompute := e.AddRoutes([]model.Route{r})
+	if errs[0] != nil {
+		return errs[0]
+	}
+	return recompute
+}
+
+// AddRoutes indexes a batch of routes in one commit. Route changes are
+// rare and structural, so they bypass the transition write queue and
+// take the write lock directly; every standing query is recomputed —
+// once per batch, not once per route. errs[i] is the outcome of rs[i];
+// recompute is the standing-query recomputation error, if any (the
+// routes themselves are still indexed, and the cache purged).
+func (e *Engine) AddRoutes(rs []model.Route) (errs []error, recompute error) {
+	errs = make([]error, len(rs))
+	changed := 0
+	e.mu.Lock()
+	for i := range rs {
+		if err := e.idx.AddRoute(rs[i]); err != nil {
+			errs[i] = err
+			continue
+		}
+		changed++
+	}
+	recompute = e.routesChangedLocked(changed)
+	e.mu.Unlock()
+	return errs, recompute
+}
+
+// RemoveRoute removes a route; it reports whether the route existed.
+func (e *Engine) RemoveRoute(id model.RouteID) (bool, error) {
+	existed, recompute := e.RemoveRoutes([]model.RouteID{id})
+	return existed[0], recompute
+}
+
+// RemoveRoutes removes a batch of routes in one commit (see
+// AddRoutes). existed[i] reports whether ids[i] was present.
+func (e *Engine) RemoveRoutes(ids []model.RouteID) (existed []bool, recompute error) {
+	existed = make([]bool, len(ids))
+	changed := 0
+	e.mu.Lock()
+	for i, id := range ids {
+		existed[i] = e.idx.RemoveRoute(id)
+		if existed[i] {
+			changed++
+		}
+	}
+	recompute = e.routesChangedLocked(changed)
+	e.mu.Unlock()
+	return existed, recompute
+}
+
+// routesChangedLocked recomputes standing queries, bumps the epoch,
+// purges the cache and broadcasts the deltas after route mutations.
+// Called with e.mu held; everything happens under the lock so deltas
+// reach subscribers in commit order relative to transition batches,
+// and the epoch advances even when recomputation fails so readers
+// never see a mutated index under an old version number.
+func (e *Engine) routesChangedLocked(changed int) error {
+	if changed == 0 {
+		return nil
+	}
+	events, err := e.mon.RouteChanged()
+	e.epoch.Add(1)
+	e.cache.Purge()
+	e.broadcast(events)
+	return err
+}
+
+// Route returns a copy-safe pointer to the indexed route, or nil.
+func (e *Engine) Route(id model.RouteID) *model.Route {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.Route(id)
+}
+
+// Transition returns the indexed transition, or nil.
+func (e *Engine) Transition(id model.TransitionID) *model.Transition {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.Transition(id)
+}
+
+// NumRoutes returns the number of indexed routes.
+func (e *Engine) NumRoutes() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.NumRoutes()
+}
+
+// NumTransitions returns the number of indexed transitions.
+func (e *Engine) NumTransitions() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.idx.NumTransitions()
+}
+
+// Stats is a point-in-time snapshot of the engine's serving counters.
+type Stats struct {
+	Epoch       uint64 `json:"epoch"`
+	Routes      int    `json:"routes"`
+	Transitions int    `json:"transitions"`
+
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	InflightDups uint64 `json:"inflight_dups"`
+
+	Batches       uint64 `json:"batches"`
+	BatchedOps    uint64 `json:"batched_ops"`
+	QueriesRun    uint64 `json:"queries_run"`
+	Standing      int64  `json:"standing_queries"`
+	DroppedEvents uint64 `json:"dropped_events"`
+
+	// Cumulative core pruning counters over executed (uncached) queries.
+	FilterMicros int64 `json:"filter_micros"`
+	VerifyMicros int64 `json:"verify_micros"`
+	FilterPoints int   `json:"filter_points"`
+	FilterRoutes int   `json:"filter_routes"`
+	RefineNodes  int   `json:"refine_nodes"`
+	Candidates   int   `json:"candidates"`
+	Results      int   `json:"results"`
+}
+
+// EngineStats returns the current serving counters.
+func (e *Engine) EngineStats() Stats {
+	hits, misses := e.cache.Counters()
+	e.statMu.Lock()
+	q := e.queryTotals
+	e.statMu.Unlock()
+	return Stats{
+		Epoch:         e.epoch.Load(),
+		Routes:        e.NumRoutes(),
+		Transitions:   e.NumTransitions(),
+		CacheEntries:  e.cache.Len(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		InflightDups:  e.dedupHits.Load(),
+		Batches:       e.batches.Load(),
+		BatchedOps:    e.batchedOps.Load(),
+		QueriesRun:    e.queriesRun.Load(),
+		Standing:      e.standing.Load(),
+		DroppedEvents: e.dropped.Load(),
+		FilterMicros:  q.Filter.Microseconds(),
+		VerifyMicros:  q.Verify.Microseconds(),
+		FilterPoints:  q.FilterPoints,
+		FilterRoutes:  q.FilterRoutes,
+		RefineNodes:   q.RefineNodes,
+		Candidates:    q.Candidates,
+		Results:       q.Results,
+	}
+}
+
+// queryKey builds the cache / dedup key: epoch, options and the exact
+// query geometry (float bits, so distinct queries never collide).
+func queryKey(epoch uint64, query []geo.Point, opts core.Options) string {
+	buf := make([]byte, 0, 8+8+8*2+16*len(query)+8)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	var flags uint64
+	flags |= uint64(opts.Method) << 0
+	flags |= uint64(opts.Semantics) << 8
+	if opts.NoCrossover {
+		flags |= 1 << 16
+	}
+	if opts.NoNList {
+		flags |= 1 << 17
+	}
+	flags |= uint64(uint32(opts.K)) << 32
+	buf = binary.LittleEndian.AppendUint64(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(opts.TimeFrom))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(opts.TimeTo))
+	for _, p := range query {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+	}
+	return string(buf)
+}

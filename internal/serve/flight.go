@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup deduplicates in-flight work: concurrent Do calls with the
+// same key share one execution of fn. A minimal reimplementation of
+// golang.org/x/sync/singleflight (no external dependency).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Do runs fn once per key among concurrent callers; later arrivals wait
+// for the first caller's result. shared reports whether this caller
+// reused another call's result instead of computing.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// A panicking fn must still release the waiters and the key, or
+	// every later identical call would block forever; surface the panic
+	// as an error to this caller and the waiters alike.
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("serve: in-flight call panicked: %v", r)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		c.wg.Done()
+		val, err = c.val, c.err
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/planner"
+)
+
+// plannerKey identifies one precomputation (per-vertex RkNNT sets +
+// all-pairs distances) by its parameters.
+type plannerKey struct {
+	k      int
+	method core.Method
+}
+
+type plannerEntry struct {
+	epoch uint64
+	pre   *planner.Precomputed
+}
+
+// ErrNoNetwork is returned by Plan when the engine was built without a
+// bus-network graph.
+var ErrNoNetwork = fmt.Errorf("serve: no network attached (Options.Network)")
+
+// Plan answers a MaxRkNNT/MinRkNNT planning query between two stops.
+// The expensive precomputation (Algorithm 5) is cached per (k, method)
+// and invalidated when the index epoch moves, so repeated planning
+// against a quiet index pays it once.
+func (e *Engine) Plan(srcStop, dstStop model.StopID, tau float64, k int, method core.Method, opts planner.Options) (*planner.Result, bool, error) {
+	if e.opts.Network == nil {
+		return nil, false, ErrNoNetwork
+	}
+	s, ok := e.opts.VertexOf[srcStop]
+	if !ok {
+		return nil, false, fmt.Errorf("serve: unknown source stop %d", srcStop)
+	}
+	t, ok := e.opts.VertexOf[dstStop]
+	if !ok {
+		return nil, false, fmt.Errorf("serve: unknown target stop %d", dstStop)
+	}
+	pre, err := e.precomputed(k, method)
+	if err != nil {
+		return nil, false, err
+	}
+	return pre.Plan(s, t, tau, opts)
+}
+
+// PlanVertices is Plan addressed by network vertex IDs directly.
+func (e *Engine) PlanVertices(s, t graph.VertexID, tau float64, k int, method core.Method, opts planner.Options) (*planner.Result, bool, error) {
+	if e.opts.Network == nil {
+		return nil, false, ErrNoNetwork
+	}
+	n := e.opts.Network.NumVertices()
+	if int(s) < 0 || int(s) >= n || int(t) < 0 || int(t) >= n {
+		return nil, false, fmt.Errorf("serve: vertex out of range [0,%d)", n)
+	}
+	pre, err := e.precomputed(k, method)
+	if err != nil {
+		return nil, false, err
+	}
+	return pre.Plan(s, t, tau, opts)
+}
+
+// precomputed returns a planner precomputation that is current for the
+// engine's epoch, computing (or recomputing) it if needed. Identical
+// concurrent requests share one computation via the flight group.
+func (e *Engine) precomputed(k int, method core.Method) (*planner.Precomputed, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
+	}
+	key := plannerKey{k: k, method: method}
+	epoch := e.epoch.Load()
+	e.planMu.Lock()
+	if ent, ok := e.plans[key]; ok && ent.epoch == epoch {
+		e.planMu.Unlock()
+		return ent.pre, nil
+	}
+	e.planMu.Unlock()
+
+	flightKey := fmt.Sprintf("plan/%d/%d/%d", epoch, k, method)
+	v, err, _ := e.flight.Do(flightKey, func() (any, error) {
+		// The epoch is re-read under the read lock (which holds writers
+		// out), so the entry is labelled with the epoch of the snapshot
+		// actually precomputed over — not a stale pre-lock value that
+		// would make this expensive computation dead on arrival.
+		pre, cur, err := func() (*planner.Precomputed, uint64, error) {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			pre, err := planner.Precompute(e.idx, e.opts.Network, k, method)
+			return pre, e.epoch.Load(), err
+		}()
+		if err != nil {
+			return nil, err
+		}
+		e.planMu.Lock()
+		e.storePlanLocked(key, &plannerEntry{epoch: cur, pre: pre})
+		e.planMu.Unlock()
+		return pre, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*planner.Precomputed), nil
+}
+
+// maxPlannerEntries bounds the precomputation cache: entries are
+// O(vertices * transitions) big and (k, method) is client-controlled,
+// so an unbounded map would be a memory-exhaustion vector.
+const maxPlannerEntries = 4
+
+func (e *Engine) storePlanLocked(key plannerKey, ent *plannerEntry) {
+	// A precompute that raced a write may arrive labelled with an older
+	// epoch; never let it displace fresher work.
+	if old, ok := e.plans[key]; ok && old.epoch >= ent.epoch {
+		return
+	}
+	for k2, old := range e.plans {
+		if old.epoch < ent.epoch {
+			delete(e.plans, k2) // staler epoch: never served again
+		}
+	}
+	if len(e.plans) >= maxPlannerEntries {
+		for k2 := range e.plans {
+			if k2 != key {
+				delete(e.plans, k2)
+				break
+			}
+		}
+	}
+	e.plans[key] = ent
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/monitor"
+)
+
+// subscriber is one standing query's event sink. dropped is set when
+// the buffer overflows, telling the consumer its delta stream has a
+// gap and it must resync from Results. Guarded by Engine.subMu.
+type subscriber struct {
+	ch      chan monitor.Event
+	query   monitor.QueryID
+	dropped bool
+}
+
+// Standing is a registered continuous query plus the channel its
+// result-set deltas arrive on.
+type Standing struct {
+	ID      monitor.QueryID
+	Initial []model.TransitionID
+	Events  <-chan monitor.Event
+
+	engine *Engine
+	subID  int
+}
+
+// RegisterStanding installs a continuous RkNNT query: an initial full
+// query now, incremental per-write maintenance afterwards. The caller
+// must Close the returned Standing when done.
+func (e *Engine) RegisterStanding(query []geo.Point, k int, sem core.Semantics) (*Standing, error) {
+	// The subscriber is installed with its query ID bound while the
+	// read lock is still held: writers are blocked, so no batch
+	// containing this query's events can commit before the subscriber
+	// is in place (no missed deltas), and broadcasts still in flight
+	// from earlier batches predate the registration so the query-ID
+	// filter drops them (no foreign deltas).
+	e.mu.RLock()
+	id, initial, err := e.mon.Register(query, k, sem)
+	if err != nil {
+		e.mu.RUnlock()
+		return nil, err
+	}
+	sub := &subscriber{ch: make(chan monitor.Event, e.opts.EventBuffer), query: id}
+	e.subMu.Lock()
+	e.nextSub++
+	subID := e.nextSub
+	e.subs[subID] = sub
+	e.subMu.Unlock()
+	e.mu.RUnlock()
+
+	e.standing.Add(1)
+	return &Standing{ID: id, Initial: initial, Events: sub.ch, engine: e, subID: subID}, nil
+}
+
+// Close unregisters the standing query and detaches its event channel.
+func (s *Standing) Close() {
+	e := s.engine
+	e.mu.RLock()
+	ok := e.mon.Unregister(s.ID)
+	e.mu.RUnlock()
+	if ok {
+		e.standing.Add(-1)
+	}
+	e.unsubscribe(s.subID)
+}
+
+// Results returns the standing query's current result set.
+func (s *Standing) Results() ([]model.TransitionID, error) {
+	e := s.engine
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mon.Results(s.ID)
+}
+
+// TakeDropped reports whether deltas were lost to buffer overflow
+// since the last call, clearing the flag. After a true return the
+// consumer's view is stale and must be rebuilt from Results.
+func (s *Standing) TakeDropped() bool {
+	e := s.engine
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	sub, ok := e.subs[s.subID]
+	if !ok {
+		return false
+	}
+	dropped := sub.dropped
+	sub.dropped = false
+	return dropped
+}
+
+func (e *Engine) unsubscribe(subID int) {
+	e.subMu.Lock()
+	delete(e.subs, subID)
+	e.subMu.Unlock()
+}
+
+// broadcast routes standing-query deltas to their subscribers. A
+// subscriber that has fallen EventBuffer events behind gets its
+// dropped flag set (and the engine counter bumped) rather than
+// stalling the write path; the consumer resyncs via TakeDropped +
+// Results.
+func (e *Engine) broadcast(events []monitor.Event) {
+	if len(events) == 0 {
+		return
+	}
+	e.subMu.Lock()
+	defer e.subMu.Unlock()
+	for _, sub := range e.subs {
+		for _, ev := range events {
+			if ev.Query != sub.query {
+				continue
+			}
+			select {
+			case sub.ch <- ev:
+			default:
+				sub.dropped = true
+				e.dropped.Add(1)
+			}
+		}
+	}
+}

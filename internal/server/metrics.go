@@ -1,0 +1,118 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// endpointStat accumulates one endpoint's serving counters.
+type endpointStat struct {
+	count  atomic.Uint64
+	errors atomic.Uint64
+	micros atomic.Uint64 // cumulative handler latency
+}
+
+// metrics tracks per-endpoint latency and QPS since server start.
+type metrics struct {
+	start time.Time
+	mu    sync.Mutex
+	byKey map[string]*endpointStat
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), byKey: make(map[string]*endpointStat)}
+}
+
+func (m *metrics) stat(key string) *endpointStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.byKey[key]
+	if !ok {
+		s = &endpointStat{}
+		m.byKey[key] = s
+	}
+	return s
+}
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE streaming keeps
+// working through the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with latency/QPS/error accounting under
+// the given metrics key.
+func (m *metrics) instrument(key string, h http.HandlerFunc) http.HandlerFunc {
+	s := m.stat(key)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		s.count.Add(1)
+		s.micros.Add(uint64(time.Since(t0).Microseconds()))
+		if rec.status >= 400 {
+			s.errors.Add(1)
+		}
+	}
+}
+
+// instrumentStream counts connections and errors but not latency: a
+// streaming handler returns at client disconnect, so its wall time is
+// the stream lifetime, which would poison the latency averages.
+func (m *metrics) instrumentStream(key string, h http.HandlerFunc) http.HandlerFunc {
+	s := m.stat(key)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.count.Add(1)
+		h(rec, r)
+		if rec.status >= 400 {
+			s.errors.Add(1)
+		}
+	}
+}
+
+// endpointStatsDTO is one endpoint's /v1/stats entry.
+type endpointStatsDTO struct {
+	Count           uint64  `json:"count"`
+	Errors          uint64  `json:"errors"`
+	AvgLatencyMicro float64 `json:"avg_latency_micros"`
+	QPS             float64 `json:"qps"`
+}
+
+func (m *metrics) snapshot() (uptime float64, endpoints map[string]endpointStatsDTO) {
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	out := make(map[string]endpointStatsDTO)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, s := range m.byKey {
+		n := s.count.Load()
+		dto := endpointStatsDTO{
+			Count:  n,
+			Errors: s.errors.Load(),
+			QPS:    float64(n) / elapsed,
+		}
+		if n > 0 {
+			dto.AvgLatencyMicro = float64(s.micros.Load()) / float64(n)
+		}
+		out[key] = dto
+	}
+	return elapsed, out
+}

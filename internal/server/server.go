@@ -1,0 +1,369 @@
+// Package server exposes the serving engine (internal/serve) as an
+// HTTP/JSON API: RkNNT and kNN queries, MaxRkNNT/MinRkNNT planning,
+// batched transition and route updates, standing continuous queries
+// over server-sent events, and serving statistics.
+//
+// Endpoints:
+//
+//	POST   /v1/rknnt              reverse k-nearest-neighbour query
+//	POST   /v1/knn                k nearest routes to a point
+//	POST   /v1/plan               MaxRkNNT/MinRkNNT route planning
+//	POST   /v1/transitions        batch-add transitions
+//	DELETE /v1/transitions        batch-remove transitions by ID
+//	POST   /v1/transitions/expire sliding-window expiry
+//	POST   /v1/routes             batch-add routes
+//	DELETE /v1/routes             batch-remove routes by ID
+//	GET    /v1/routes/{id}        fetch one route
+//	GET    /v1/watch              standing continuous query (SSE)
+//	GET    /v1/stats              engine + per-endpoint counters
+//	GET    /healthz               liveness
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/serve"
+)
+
+// Server is the HTTP face of one serving engine. Create with New; it
+// implements http.Handler.
+type Server struct {
+	engine  *serve.Engine
+	stopOf  map[graph.VertexID]model.StopID // inverse of the engine's VertexOf
+	mux     *http.ServeMux
+	metrics *metrics
+}
+
+// New builds a Server over the engine.
+func New(e *serve.Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux(), metrics: newMetrics()}
+	if vo := e.VertexOf(); vo != nil {
+		s.stopOf = make(map[graph.VertexID]model.StopID, len(vo))
+		for stop, v := range vo {
+			s.stopOf[v] = stop
+		}
+	}
+	handle := func(pattern, key string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.metrics.instrument(key, h))
+	}
+	handle("POST /v1/rknnt", "/v1/rknnt", s.handleRkNNT)
+	handle("POST /v1/knn", "/v1/knn", s.handleKNN)
+	handle("POST /v1/plan", "/v1/plan", s.handlePlan)
+	handle("POST /v1/transitions", "POST /v1/transitions", s.handleAddTransitions)
+	handle("DELETE /v1/transitions", "DELETE /v1/transitions", s.handleDeleteTransitions)
+	handle("POST /v1/transitions/expire", "/v1/transitions/expire", s.handleExpire)
+	handle("POST /v1/routes", "POST /v1/routes", s.handleAddRoutes)
+	handle("DELETE /v1/routes", "DELETE /v1/routes", s.handleDeleteRoutes)
+	handle("GET /v1/routes/{id}", "GET /v1/routes/{id}", s.handleGetRoute)
+	s.mux.HandleFunc("GET /v1/watch", s.metrics.instrumentStream("/v1/watch", s.handleWatch))
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("GET /healthz", "/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// maxRequestBody caps JSON request bodies; without it a single
+// oversized POST could exhaust server memory.
+const maxRequestBody = 8 << 20
+
+// decodeJSON decodes a request body strictly (unknown fields rejected,
+// size-capped).
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad JSON: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleRkNNT(w http.ResponseWriter, r *http.Request) {
+	var req rknntRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.RkNNT(toPoints(req.Query), opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rknntResponse{
+		Transitions: res.Transitions,
+		Count:       len(res.Transitions),
+		Cached:      res.Cached,
+		Shared:      res.Shared,
+		Epoch:       res.Epoch,
+		Stats: queryStatsDTO{
+			FilterMicros: res.Stats.Filter.Microseconds(),
+			VerifyMicros: res.Stats.Verify.Microseconds(),
+			FilterPoints: res.Stats.FilterPoints,
+			FilterRoutes: res.Stats.FilterRoutes,
+			RefineNodes:  res.Stats.RefineNodes,
+			Candidates:   res.Stats.Candidates,
+		},
+	})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ids, err := s.engine.KNNRoutes(req.Point.point(), req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, knnResponse{Routes: ids})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	obj, err := parseObjective(req.Objective)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Tau <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("tau must be > 0, got %g", req.Tau))
+		return
+	}
+	res, feasible, err := s.engine.Plan(req.SourceStop, req.TargetStop, req.Tau, req.K, method,
+		planner.Options{Objective: obj, MaxExpansions: req.MaxExpansions})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, serve.ErrNoNetwork) {
+			status = http.StatusNotImplemented
+		}
+		writeError(w, status, err)
+		return
+	}
+	if !feasible {
+		writeJSON(w, http.StatusOK, planResponse{Feasible: false})
+		return
+	}
+	resp := planResponse{
+		Feasible:    true,
+		Dist:        res.Dist,
+		Transitions: res.Transitions,
+		Count:       res.Count,
+		Truncated:   res.Truncated,
+	}
+	if s.stopOf != nil {
+		resp.PathStops = make([]model.StopID, len(res.Path))
+		for i, v := range res.Path {
+			resp.PathStops[i] = s.stopOf[v]
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (req *rknntRequest) options() (opts core.Options, err error) {
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		return opts, err
+	}
+	sem, err := parseSemantics(req.Semantics)
+	if err != nil {
+		return opts, err
+	}
+	if req.K < 1 {
+		return opts, fmt.Errorf("k must be >= 1, got %d", req.K)
+	}
+	if len(req.Query) < 2 {
+		return opts, fmt.Errorf("query needs at least 2 points, got %d", len(req.Query))
+	}
+	opts.K = req.K
+	opts.Method = method
+	opts.Semantics = sem
+	opts.TimeFrom = req.TimeFrom
+	opts.TimeTo = req.TimeTo
+	return opts, nil
+}
+
+func (s *Server) handleAddTransitions(w http.ResponseWriter, r *http.Request) {
+	var req addTransitionsRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Transitions) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no transitions in request"))
+		return
+	}
+	ts := make([]model.Transition, len(req.Transitions))
+	for i, dto := range req.Transitions {
+		ts[i] = model.Transition{ID: dto.ID, O: dto.O.point(), D: dto.D.point(), Time: dto.Time}
+	}
+	resp := addTransitionsResponse{}
+	for i, err := range s.engine.AddTransitions(ts) {
+		if err != nil {
+			resp.Errors = append(resp.Errors, opError{ID: ts[i].ID, Error: err.Error()})
+			continue
+		}
+		resp.Added++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteTransitions(w http.ResponseWriter, r *http.Request) {
+	var req deleteByIDsRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	existed, err := s.engine.RemoveTransitions(req.IDs)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := deleteResponse{}
+	for i, ok := range existed {
+		if ok {
+			resp.Removed++
+		} else {
+			resp.Missing = append(resp.Missing, req.IDs[i])
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
+	var req expireRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := s.engine.ExpireTransitionsBefore(req.Cutoff)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, expireResponse{Removed: n})
+}
+
+func (s *Server) handleAddRoutes(w http.ResponseWriter, r *http.Request) {
+	var req addRoutesRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Routes) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no routes in request"))
+		return
+	}
+	rs := make([]model.Route, len(req.Routes))
+	for i, dto := range req.Routes {
+		rs[i] = model.Route{ID: dto.ID, Stops: dto.Stops, Pts: toPoints(dto.Pts)}
+	}
+	errs, recompute := s.engine.AddRoutes(rs)
+	if recompute != nil {
+		writeError(w, http.StatusInternalServerError, recompute)
+		return
+	}
+	resp := addRoutesResponse{}
+	for i, err := range errs {
+		if err != nil {
+			resp.Errors = append(resp.Errors, opError{ID: rs[i].ID, Error: err.Error()})
+			continue
+		}
+		resp.Added++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteRoutes(w http.ResponseWriter, r *http.Request) {
+	var req deleteByIDsRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	existed, recompute := s.engine.RemoveRoutes(req.IDs)
+	if recompute != nil {
+		writeError(w, http.StatusInternalServerError, recompute)
+		return
+	}
+	resp := deleteResponse{}
+	for i, ok := range existed {
+		if ok {
+			resp.Removed++
+		} else {
+			resp.Missing = append(resp.Missing, req.IDs[i])
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetRoute(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad route ID %q", r.PathValue("id")))
+		return
+	}
+	rt := s.engine.Route(model.RouteID(id64))
+	if rt == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown route ID %d", id64))
+		return
+	}
+	writeJSON(w, http.StatusOK, routeDTO{ID: rt.ID, Stops: rt.Stops, Pts: fromPoints(rt.Pts)})
+}
+
+type statsResponse struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Engine        serve.Stats                 `json:"engine"`
+	Endpoints     map[string]endpointStatsDTO `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	uptime, endpoints := s.metrics.snapshot()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: uptime,
+		Engine:        s.engine.EngineStats(),
+		Endpoints:     endpoints,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"epoch":       s.engine.Epoch(),
+		"routes":      s.engine.NumRoutes(),
+		"transitions": s.engine.NumTransitions(),
+	})
+}
