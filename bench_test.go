@@ -10,6 +10,7 @@ package rknnt
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -277,6 +278,52 @@ func BenchmarkDynamicTransitionChurn(b *testing.B) {
 		db.RemoveTransition(id)
 	}
 }
+
+// BenchmarkMixedReadWrite drives the engine wrapper with a 90/10
+// query/write mix over a hot query set — the serving workload the
+// sharded index and delta-repaired cache are built for. Writes commit
+// through coalesced batches that repair cached results in place via
+// rank checks, so the hot queries stay cache hits across churn.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	db, city := benchDB(b)
+	e := db.NewEngine(EngineOptions{})
+	defer e.Close()
+	rng := rand.New(rand.NewSource(21))
+	queries := make([][]Point, 16)
+	for i := range queries {
+		queries[i] = GenerateQuery(city, rng, 5, 3)
+	}
+	var added []TransitionID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10 == 9 {
+			// The DB (and its ID space) is shared across benchmarks and
+			// b.N re-runs; take the next globally unused ID.
+			id := TransitionID(mixedBenchNextID.Add(1))
+			if err := e.AddTransition(Transition{
+				ID: id,
+				O:  Pt(rng.Float64()*50, rng.Float64()*40),
+				D:  Pt(rng.Float64()*50, rng.Float64()*40),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			added = append(added, id)
+		} else {
+			q := queries[rng.Intn(len(queries))]
+			if _, err := e.RkNNT(q, QueryOptions{K: 10, Method: DivideConquer}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if _, err := e.RemoveTransitions(added); err != nil {
+		b.Fatal(err)
+	}
+}
+
+var mixedBenchNextID atomic.Int64
+
+func init() { mixedBenchNextID.Store(50_000_000) }
 
 func BenchmarkKNNRoutes(b *testing.B) {
 	db, _ := benchDB(b)

@@ -6,22 +6,44 @@
 //	rknnt-bench                 # run every experiment in paper order
 //	rknnt-bench -exp fig9       # run one experiment
 //	rknnt-bench -list           # list experiment IDs
+//	rknnt-bench -json           # machine-readable output (perf trajectory)
 //	rknnt-bench -scale 1 -queries 100   # full-cardinality datasets
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/exp"
 )
 
+// jsonReport is the -json output: the configuration the experiments ran
+// under plus every regenerated table with its wall-clock cost. Committed
+// as BENCH_baseline.json, it gives later PRs a perf trajectory to diff
+// against.
+type jsonReport struct {
+	Scale          int          `json:"scale"`
+	Queries        int          `json:"queries"`
+	SynTransitions int          `json:"syn_transitions"`
+	Seed           int64        `json:"seed"`
+	GoMaxProcs     int          `json:"gomaxprocs"`
+	Experiments    []jsonResult `json:"experiments"`
+}
+
+type jsonResult struct {
+	Table   *exp.Table `json:"table"`
+	Seconds float64    `json:"seconds"`
+}
+
 func main() {
 	cfg := exp.DefaultConfig()
 	expID := flag.String("exp", "", "experiment ID to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of formatted tables")
 	flag.IntVar(&cfg.Scale, "scale", cfg.Scale, "divide the paper's dataset cardinalities by this factor (1 = full scale)")
 	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per data point")
 	flag.IntVar(&cfg.SynTransitions, "syn", cfg.SynTransitions, "NYC-Synthetic transition count (paper: 10000000)")
@@ -40,6 +62,13 @@ func main() {
 	if *expID != "" {
 		ids = []string{*expID}
 	}
+	report := jsonReport{
+		Scale:          cfg.Scale,
+		Queries:        cfg.Queries,
+		SynTransitions: cfg.SynTransitions,
+		Seed:           cfg.Seed,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+	}
 	for _, id := range ids {
 		start := time.Now()
 		table, err := suite.Run(id)
@@ -47,7 +76,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rknnt-bench: %v\n", err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		if *asJSON {
+			report.Experiments = append(report.Experiments, jsonResult{
+				Table:   table,
+				Seconds: elapsed.Seconds(),
+			})
+			continue
+		}
 		fmt.Print(table.Format())
-		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "rknnt-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

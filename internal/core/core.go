@@ -97,6 +97,13 @@ type Options struct {
 	// temporal refinement the paper sketches for frequency planning.
 	TimeFrom, TimeTo int64
 
+	// Parallel allows the traversal to fan out across goroutines: the
+	// TR-tree shards prune concurrently and the verification step splits
+	// its candidates over workers. Results are identical to the
+	// sequential pass (candidates are independent and masks merge by
+	// OR); only wall-clock changes. It has no effect with GOMAXPROCS=1.
+	Parallel bool
+
 	// Ablation switches. Results are unaffected (the framework stays
 	// exact); only pruning power changes. They exist so the benchmark
 	// suite can quantify each design choice of Sections 4-5.

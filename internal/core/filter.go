@@ -2,7 +2,9 @@ package core
 
 import (
 	"container/heap"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/index"
@@ -18,16 +20,24 @@ type filterPoint struct {
 	routes []model.RouteID // C(r), sorted
 }
 
+// pruneScratch is the per-goroutine mutable state of isFiltered: the
+// counted-route buffer and the Voronoi clip buffers. The filterSet itself
+// is immutable during PruneTransition, so shard-parallel traversals each
+// carry their own pruneScratch and share the set.
+type pruneScratch struct {
+	counted []model.RouteID
+	vbuf    geo.VoronoiScratch
+}
+
 // filterSet is S_filter of Algorithm 2: the filtering points ordered by
 // decreasing crossover degree (S_filter.P) and, per route, the points that
 // could not be pruned (S_filter.R) for Voronoi filtering.
 type filterSet struct {
-	points  []filterPoint                 // sorted by len(routes) descending
-	routes  map[model.RouteID][]geo.Point // S_filter.R
-	seen    map[model.StopID]struct{}     // avoid duplicate stops in points
-	order   []model.RouteID               // insertion order of routes
-	scratch []model.RouteID               // reused by isFiltered
-	vbuf    geo.VoronoiScratch            // reused clip buffers
+	points []filterPoint                 // sorted by len(routes) descending
+	routes map[model.RouteID][]geo.Point // S_filter.R
+	seen   map[model.StopID]struct{}     // avoid duplicate stops in points
+	order  []model.RouteID               // insertion order of routes
+	sc     pruneScratch                  // scratch for single-threaded phases
 }
 
 func newFilterSet() *filterSet {
@@ -88,11 +98,14 @@ func voronoiRouteBudget(k int) int {
 // isNode distinguishes real R-tree nodes from degenerate single-point
 // rectangles; the scan budgets above differ between the two.
 //
+// All mutable state lives in sc, so concurrent calls over a fixed
+// filterSet are safe as long as each goroutine brings its own scratch.
+//
 // Skipping checks (budgets) only weakens pruning, never soundness: every
 // counted route is still a proof of >= 1 strictly closer route, and
 // unpruned entries are verified exactly downstream.
-func (fs *filterSet) isFiltered(query []geo.Point, rect geo.Rect, k int, useVoronoi, isNode bool) bool {
-	counted := fs.scratch[:0]
+func (fs *filterSet) isFiltered(query []geo.Point, rect geo.Rect, k int, useVoronoi, isNode bool, sc *pruneScratch) bool {
+	counted := sc.counted[:0]
 	budget := pointScanBudget
 	if isNode {
 		budget = len(fs.points)
@@ -111,7 +124,7 @@ func (fs *filterSet) isFiltered(query []geo.Point, rect geo.Rect, k int, useVoro
 	// Step 1: filtering points in descending crossover order.
 	for i := range fs.points {
 		if len(counted) >= k {
-			fs.scratch = counted
+			sc.counted = counted
 			return true
 		}
 		if i >= budget {
@@ -125,11 +138,11 @@ func (fs *filterSet) isFiltered(query []geo.Point, rect geo.Rect, k int, useVoro
 		}
 	}
 	if len(counted) >= k {
-		fs.scratch = counted
+		sc.counted = counted
 		return true
 	}
 	if !useVoronoi || !isNode {
-		fs.scratch = counted
+		sc.counted = counted
 		return false
 	}
 	// Gate: when point filtering found fewer than k/2 closer routes, the
@@ -138,7 +151,7 @@ func (fs *filterSet) isFiltered(query []geo.Point, rect geo.Rect, k int, useVoro
 	// paying the clipping cost exactly where it cannot pay off. (A skipped
 	// check only weakens pruning, never correctness.)
 	if 2*len(counted) < k {
-		fs.scratch = counted
+		sc.counted = counted
 		return false
 	}
 	// Step 2: whole-route Voronoi filtering for the remaining routes.
@@ -159,11 +172,11 @@ func (fs *filterSet) isFiltered(query []geo.Point, rect geo.Rect, k int, useVoro
 			continue // identical to the single-point test of step 1
 		}
 		tried++
-		if geo.RectInVoronoiFilterSpaceBuf(rect, pts, query, &fs.vbuf) {
+		if geo.RectInVoronoiFilterSpaceBuf(rect, pts, query, &sc.vbuf) {
 			counted = addRoute(counted, r)
 		}
 	}
-	fs.scratch = counted
+	sc.counted = counted
 	return len(counted) >= k
 }
 
@@ -187,7 +200,7 @@ func containsRoute(s []model.RouteID, id model.RouteID) bool {
 
 // minHeap orders R-tree nodes and entries by MinDist to the query route.
 type heapItem struct {
-	node  *rtree.Node // nil for materialised points
+	node  rtree.NodeID // NilNode for materialised points
 	entry rtree.Entry
 	dist  float64
 }
@@ -220,42 +233,48 @@ func queryMinDist2(query []geo.Point, r geo.Rect) float64 {
 // of the RR-tree that assembles the filtering set S_filter and the pruned
 // node set S_refine. Entries are visited in ascending MinDist order so
 // near, high-value filtering points are found early; nodes (and points)
-// already inside >= k filtering spaces are pruned.
-func filterRoute(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts Options, stats *Stats) (*filterSet, []*rtree.Node) {
+// already inside >= k filtering spaces are pruned. The traversal is
+// inherently sequential: each added point strengthens the set the next
+// test uses.
+func filterRoute(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts Options, stats *Stats) (*filterSet, []rtree.NodeID) {
 	fs := newFilterSet()
-	var refine []*rtree.Node
-	root := x.RouteTree().Root()
+	var refine []rtree.NodeID
+	tree := x.RouteTree()
+	root := tree.Root()
 
-	h := &minHeap{{node: root, dist: queryMinDist2(query, root.Rect())}}
+	h := &minHeap{{node: root, dist: queryMinDist2(query, tree.Rect(root))}}
 	heap.Init(h)
 	for h.Len() > 0 {
 		it := heap.Pop(h).(heapItem)
-		if it.node != nil {
+		if it.node != rtree.NilNode {
 			n := it.node
-			if fs.isFiltered(query, n.Rect(), k, useVoronoi, true) {
+			if fs.isFiltered(query, tree.Rect(n), k, useVoronoi, true, &fs.sc) {
 				refine = append(refine, n)
 				continue
 			}
-			if n.IsLeaf() {
-				for _, e := range n.Entries() {
-					heap.Push(h, heapItem{entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
+			if tree.IsLeaf(n) {
+				for _, e := range tree.Entries(n) {
+					heap.Push(h, heapItem{node: rtree.NilNode, entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
 				}
 			} else {
-				for _, c := range n.Children() {
-					heap.Push(h, heapItem{node: c, dist: queryMinDist2(query, c.Rect())})
+				for _, c := range tree.Children(n) {
+					heap.Push(h, heapItem{node: c, dist: queryMinDist2(query, tree.Rect(c))})
 				}
 			}
 			continue
 		}
 		// Route point: keep it only if it cannot itself be filtered.
 		e := it.entry
-		if fs.isFiltered(query, geo.RectOf(e.Pt), k, useVoronoi, false) {
+		if fs.isFiltered(query, geo.RectOf(e.Pt), k, useVoronoi, false, &fs.sc) {
 			continue
 		}
 		if opts.NoCrossover {
 			fs.add(e.Pt, e.Aux, []model.RouteID{e.ID})
 		} else {
-			fs.add(e.Pt, e.Aux, x.Crossover(e.Aux))
+			// Shared view, not Crossover's defensive copy: the filter set
+			// only reads it, and the index is frozen for the duration of
+			// the query (single-writer discipline).
+			fs.add(e.Pt, e.Aux, x.CrossoverView(e.Aux))
 		}
 	}
 	stats.FilterPoints = len(fs.points)
@@ -265,35 +284,83 @@ func filterRoute(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts
 }
 
 // pruneTransition implements Algorithm 4 (PruneTransition): a traversal of
-// the TR-tree against the fixed filtering set. Endpoints that cannot be
-// pruned become candidates. Unlike FilterRoute, the visit order does not
-// affect the outcome (the filtering set is fixed and candidates are
-// independent), so a plain stack replaces the paper's distance heap — same
-// results, no heap overhead.
-func pruneTransition(x *index.Index, query []geo.Point, fs *filterSet, k int, useVoronoi bool, stats *Stats) []rtree.Entry {
-	var cands []rtree.Entry
-	tree := x.TransitionTree()
-	if tree.Len() == 0 {
-		return nil
+// the TR-tree shards against the fixed filtering set. Endpoints that
+// cannot be pruned become candidates. Unlike FilterRoute, the visit order
+// does not affect the outcome (the filtering set is fixed and candidates
+// are independent), so a plain stack replaces the paper's distance heap —
+// same results, no heap overhead — and, because each shard is an
+// independent tree, the shards fan out across goroutines when opts allow
+// it, each with its own pruneScratch.
+func pruneTransition(x *index.Index, query []geo.Point, fs *filterSet, k int, useVoronoi bool, opts Options, stats *Stats) []rtree.Entry {
+	shards := x.TransitionShards()
+	perShard := make([][]rtree.Entry, len(shards))
+	if parallelEnabled(opts) && countNonEmpty(shards) > 1 {
+		var wg sync.WaitGroup
+		for s := range shards {
+			if shards[s].Len() == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				var sc pruneScratch
+				perShard[s] = pruneShard(shards[s], query, fs, k, useVoronoi, &sc)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for s, tree := range shards {
+			if tree.Len() == 0 {
+				continue
+			}
+			perShard[s] = pruneShard(tree, query, fs, k, useVoronoi, &fs.sc)
+		}
 	}
-	stack := []*rtree.Node{tree.Root()}
+	var cands []rtree.Entry
+	for _, c := range perShard {
+		cands = append(cands, c...)
+	}
+	stats.Candidates = len(cands)
+	return cands
+}
+
+// pruneShard runs the PruneTransition traversal over one TR-tree shard.
+func pruneShard(tree *rtree.Tree, query []geo.Point, fs *filterSet, k int, useVoronoi bool, sc *pruneScratch) []rtree.Entry {
+	var cands []rtree.Entry
+	stack := []rtree.NodeID{tree.Root()}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if fs.isFiltered(query, n.Rect(), k, useVoronoi, true) {
+		if fs.isFiltered(query, tree.Rect(n), k, useVoronoi, true, sc) {
 			continue
 		}
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
-				if fs.isFiltered(query, geo.RectOf(e.Pt), k, useVoronoi, false) {
+		if tree.IsLeaf(n) {
+			for _, e := range tree.Entries(n) {
+				if fs.isFiltered(query, geo.RectOf(e.Pt), k, useVoronoi, false, sc) {
 					continue
 				}
 				cands = append(cands, e)
 			}
 		} else {
-			stack = append(stack, n.Children()...)
+			stack = append(stack, tree.Children(n)...)
 		}
 	}
-	stats.Candidates = len(cands)
 	return cands
+}
+
+// parallelEnabled reports whether the query may fan work out across
+// goroutines: requested by the options and more than one processor to
+// run them on.
+func parallelEnabled(opts Options) bool {
+	return opts.Parallel && runtime.GOMAXPROCS(0) > 1
+}
+
+func countNonEmpty(shards []*rtree.Tree) int {
+	n := 0
+	for _, t := range shards {
+		if t.Len() > 0 {
+			n++
+		}
+	}
+	return n
 }

@@ -14,7 +14,7 @@ import (
 func filterRefine(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts Options, stats *Stats) map[model.TransitionID]endpointMask {
 	start := time.Now()
 	fs, _ := filterRoute(x, query, k, useVoronoi, opts, stats)
-	cands := pruneTransition(x, query, fs, k, useVoronoi, stats)
+	cands := pruneTransition(x, query, fs, k, useVoronoi, opts, stats)
 	stats.Filter += time.Since(start)
 
 	start = time.Now()
@@ -51,7 +51,7 @@ func divideConquer(x *index.Index, query []geo.Point, k int, opts Options, stats
 		sub[0] = q
 		subStats := &Stats{}
 		fs, _ := filterRoute(x, sub, k, true, opts, subStats)
-		cands := pruneTransition(x, sub, fs, k, true, subStats)
+		cands := pruneTransition(x, sub, fs, k, true, opts, subStats)
 		stats.FilterPoints += subStats.FilterPoints
 		stats.FilterRoutes += subStats.FilterRoutes
 		stats.RefineNodes += subStats.RefineNodes

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/geo"
 	"repro/internal/index"
 	"repro/internal/model"
@@ -12,15 +14,49 @@ import (
 // with query distance dq = dist(t, Q) is a result iff fewer than k distinct
 // routes are strictly closer to t than dq.
 //
-// The traversal descends only nodes with MinDist(t, node) < dq. Nodes that
-// are entirely closer (MaxDist(t, node) < dq) contribute their whole NList
-// wholesale — this is where the NList of Section 4.1.2 pays off — and the
-// scan aborts as soon as k distinct closer routes are known. The outcome is
-// exact, so unlike the filtering phase there is no approximation to verify
-// downstream.
+// Candidates are independent, so with opts.Parallel the verification fans
+// out across worker goroutines and the per-candidate masks merge by OR —
+// the outcome is identical to the sequential pass.
 func refineCandidates(x *index.Index, query []geo.Point, cands []rtree.Entry, k int, opts Options) map[model.TransitionID]endpointMask {
 	masks := make(map[model.TransitionID]endpointMask)
 	tree := x.RouteTree()
+	// parallelRefineThreshold: below this many candidates the goroutine
+	// and merge overhead exceeds the win.
+	const parallelRefineThreshold = 32
+	if parallelEnabled(opts) && len(cands) >= parallelRefineThreshold {
+		workers := maxWorkers(len(cands))
+		chunk := (len(cands) + workers - 1) / workers
+		parts := make([]map[model.TransitionID]endpointMask, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				part := make(map[model.TransitionID]endpointMask)
+				for _, cand := range cands[lo:hi] {
+					if endpointIsResult(x, tree, query, cand.Pt, k, !opts.NoNList) {
+						part[cand.ID] |= 1 << uint(cand.Aux)
+					}
+				}
+				parts[w] = part
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, part := range parts {
+			for id, m := range part {
+				masks[id] |= m
+			}
+		}
+		return masks
+	}
 	for _, cand := range cands {
 		if endpointIsResult(x, tree, query, cand.Pt, k, !opts.NoNList) {
 			masks[cand.ID] |= 1 << uint(cand.Aux)
@@ -29,34 +65,53 @@ func refineCandidates(x *index.Index, query []geo.Point, cands []rtree.Entry, k 
 	return masks
 }
 
+func maxWorkers(items int) int {
+	w := items / 16
+	if w < 2 {
+		w = 2
+	}
+	if w > 16 {
+		w = 16
+	}
+	return w
+}
+
 // endpointIsResult reports whether fewer than k distinct routes are
-// strictly closer to t than the query route.
+// strictly closer to t than the query route. It only reads the index
+// (the incremental NList takes no lock), so concurrent calls are safe.
 func endpointIsResult(x *index.Index, tree *rtree.Tree, query []geo.Point, t geo.Point, k int, useNList bool) bool {
 	if tree.Len() == 0 {
 		return true
 	}
 	dq2 := geo.PointRouteDist2(t, query)
 	closer := make(map[model.RouteID]struct{}, k)
-	stack := []*rtree.Node{tree.Root()}
+	stack := []rtree.NodeID{tree.Root()}
 	for len(stack) > 0 && len(closer) < k {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if n.Rect().MinDist2(t) >= dq2 {
+		rect := tree.Rect(n)
+		if rect.MinDist2(t) >= dq2 {
 			continue
 		}
-		if md := n.Rect().MaxDist(t); useNList && md*md < dq2 {
+		if md := rect.MaxDist(t); useNList && md*md < dq2 {
 			// Every point under n is strictly closer than the query:
 			// credit all routes below without descending.
-			for _, id := range x.NList(n) {
+			done := false
+			x.NListEach(n, func(id model.RouteID) bool {
 				closer[id] = struct{}{}
 				if len(closer) >= k {
+					done = true
 					return false
 				}
+				return true
+			})
+			if done {
+				return false
 			}
 			continue
 		}
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
+		if tree.IsLeaf(n) {
+			for _, e := range tree.Entries(n) {
 				if e.Pt.Dist2(t) < dq2 {
 					closer[e.ID] = struct{}{}
 					if len(closer) >= k {
@@ -65,9 +120,7 @@ func endpointIsResult(x *index.Index, tree *rtree.Tree, query []geo.Point, t geo
 				}
 			}
 		} else {
-			for _, c := range n.Children() {
-				stack = append(stack, c)
-			}
+			stack = append(stack, tree.Children(n)...)
 		}
 	}
 	return len(closer) < k

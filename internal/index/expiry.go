@@ -1,0 +1,96 @@
+package index
+
+import "repro/internal/model"
+
+// Sliding-window expiry. Timed transitions are tracked in a binary
+// min-heap ordered by timestamp, pushed on every add; expiry pops the
+// heap prefix below the cutoff instead of scanning every live transition.
+// Entries are removed lazily: a heap entry whose transition has already
+// been removed (or replaced by a same-ID transition with a different
+// timestamp) is discarded when it surfaces. Expiry therefore costs
+// O(expired · log n) plus the cost of the removals themselves.
+
+type timedEntry struct {
+	time int64
+	id   model.TransitionID
+}
+
+type timeHeap []timedEntry
+
+func (h *timeHeap) push(e timedEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].time <= (*h)[i].time {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *timeHeap) pop() timedEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && old[l].time < old[least].time {
+			least = l
+		}
+		if r < n && old[r].time < old[least].time {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		old[i], old[least] = old[least], old[i]
+		i = least
+	}
+	return top
+}
+
+// DrainTimedBefore pops and returns the IDs of every live transition with
+// a timestamp strictly before cutoff, oldest first, without removing the
+// transitions themselves. The heap forgets the returned IDs: the caller
+// MUST remove every one of them (the monitor does, to emit per-removal
+// events). Use ExpireTransitionsBefore for the remove-everything case.
+func (x *Index) DrainTimedBefore(cutoff int64) []model.TransitionID {
+	var victims []model.TransitionID
+	seen := map[model.TransitionID]bool{}
+	for len(x.expiry) > 0 && x.expiry[0].time < cutoff {
+		e := x.expiry.pop()
+		t, ok := x.transitions[e.id]
+		if !ok || t.Time != e.time || seen[e.id] {
+			continue // lazily dropped: removed, or re-added with a new time
+		}
+		seen[e.id] = true
+		victims = append(victims, e.id)
+	}
+	return victims
+}
+
+// ExpireTransitionsBefore removes every transition with a timestamp
+// strictly before cutoff and returns how many were removed. Untimed
+// transitions (Time == 0) are kept. This implements the sliding-window
+// maintenance the paper motivates ("old transitions expire and new
+// transitions arrive").
+func (x *Index) ExpireTransitionsBefore(cutoff int64) int {
+	victims := x.DrainTimedBefore(cutoff)
+	if len(victims) == 0 {
+		return 0
+	}
+	existed := x.RemoveTransitionsBatch(victims)
+	n := 0
+	for _, ok := range existed {
+		if ok {
+			n++
+		}
+	}
+	return n
+}

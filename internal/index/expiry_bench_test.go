@@ -1,0 +1,98 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// Sliding-window benchmark: a window of timed transitions advances one
+// batch per iteration — add the newest batch, expire everything older
+// than the window. BenchmarkExpireSlidingWindow/Heap is the shipped
+// min-heap path; /LinearScan re-implements the pre-refactor O(live)
+// victim scan over the same index for an in-tree before/after.
+
+const (
+	windowLive  = 50000 // live transitions in the window
+	expireBatch = 16    // arrivals (= expiries) per iteration
+)
+
+func buildWindow(b *testing.B) (*Index, int64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(99))
+	ds := &model.Dataset{}
+	for i := 0; i < windowLive; i++ {
+		ds.Transitions = append(ds.Transitions, model.Transition{
+			ID:   model.TransitionID(i + 1),
+			O:    geo.Pt(rng.Float64()*50, rng.Float64()*50),
+			D:    geo.Pt(rng.Float64()*50, rng.Float64()*50),
+			Time: int64(i + 1),
+		})
+	}
+	x, err := BuildOpts(ds, Options{TRShards: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return x, int64(windowLive)
+}
+
+func slideOnce(b *testing.B, x *Index, rng *rand.Rand, now *int64, expire func(cutoff int64) int) {
+	b.Helper()
+	batch := make([]model.Transition, expireBatch)
+	for j := range batch {
+		*now++
+		batch[j] = model.Transition{
+			ID:   model.TransitionID(*now),
+			O:    geo.Pt(rng.Float64()*50, rng.Float64()*50),
+			D:    geo.Pt(rng.Float64()*50, rng.Float64()*50),
+			Time: *now,
+		}
+	}
+	for _, err := range x.AddTransitionsBatch(batch) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if n := expire(*now - windowLive + 1); n != expireBatch {
+		b.Fatalf("expired %d, want %d", n, expireBatch)
+	}
+}
+
+func BenchmarkExpireSlidingWindow(b *testing.B) {
+	b.Run("Heap", func(b *testing.B) {
+		x, now := buildWindow(b)
+		rng := rand.New(rand.NewSource(7))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slideOnce(b, x, rng, &now, x.ExpireTransitionsBefore)
+		}
+	})
+	b.Run("LinearScan", func(b *testing.B) {
+		x, now := buildWindow(b)
+		rng := rand.New(rand.NewSource(7))
+		expire := func(cutoff int64) int {
+			// Pre-refactor ExpireTransitionsBefore: scan every live
+			// transition per call.
+			var victims []model.TransitionID
+			x.Transitions(func(t *model.Transition) bool {
+				if t.Time != 0 && t.Time < cutoff {
+					victims = append(victims, t.ID)
+				}
+				return true
+			})
+			n := 0
+			for _, ok := range x.RemoveTransitionsBatch(victims) {
+				if ok {
+					n++
+				}
+			}
+			return n
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slideOnce(b, x, rng, &now, expire)
+		}
+	})
+}

@@ -7,10 +7,27 @@
 // The indexes support dynamic updates: routes and transitions can be added
 // and removed at any time, which is the paper's motivating scenario of
 // continuously arriving passenger transitions.
+//
+// # Sharding
+//
+// The TR-tree is split into independent shards (default GOMAXPROCS):
+// transitions are dealt to shards round-robin in STR tile order, so every
+// shard holds a spatially balanced, similar-size subset and parallel
+// traversals fan out with even work. Both endpoints of a transition live
+// in the same shard. Write batches apply to shards concurrently; queries
+// traverse shards independently and merge.
+//
+// # Concurrency
+//
+// All mutating methods require external synchronisation (the serving
+// layer provides a single-writer discipline). Read-only methods — queries,
+// NList/NListEach in the default incremental mode, Crossover — are safe to
+// call concurrently with each other.
 package index
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -25,10 +42,33 @@ const (
 	Destination = 1
 )
 
-// Index bundles the RR-tree, TR-tree, PList and NList over one dataset.
+// Options configures Build.
+type Options struct {
+	// TRShards is the number of TR-tree shards. Defaults to
+	// runtime.GOMAXPROCS(0), min 1.
+	TRShards int
+}
+
+func (o *Options) fill() {
+	if o.TRShards <= 0 {
+		o.TRShards = runtime.GOMAXPROCS(0)
+	}
+	if o.TRShards < 1 {
+		o.TRShards = 1
+	}
+}
+
+// Index bundles the RR-tree, sharded TR-tree, PList and NList over one
+// dataset.
 type Index struct {
 	rr *rtree.Tree // route points; ID = route, Aux = stop
-	tr *rtree.Tree // transition endpoints; ID = transition, Aux = role
+
+	// trShards are the TR-tree shards (transition endpoints; ID =
+	// transition, Aux = role). shardOf records each transition's shard;
+	// nextShard is the round-robin cursor for dynamic arrivals.
+	trShards  []*rtree.Tree
+	shardOf   map[model.TransitionID]int32
+	nextShard int32
 
 	routes      map[model.RouteID]*model.Route
 	transitions map[model.TransitionID]*model.Transition
@@ -36,24 +76,34 @@ type Index struct {
 	// plist maps a stop to the sorted set of routes covering it.
 	plist map[model.StopID][]model.RouteID
 
-	// nlist caches, per RR-tree node, the sorted set of route IDs under
-	// the node. It is rebuilt lazily whenever the RR-tree changes. The
-	// mutex makes the lazy rebuild safe under concurrent queries; updates
-	// to the index itself still require external synchronisation.
-	nlistMu  sync.Mutex
-	nlist    map[*rtree.Node][]model.RouteID
-	nlistGen uint64
+	// expiry is a min-heap over timed transitions driving
+	// ExpireTransitionsBefore; see expiry.go.
+	expiry timeHeap
+
+	// Legacy NList oracle (see nlist.go): a wholesale rebuild of the
+	// per-node route lists, kept behind a flag as a differential-test
+	// oracle for the incremental aggregate.
+	legacyNList bool
+	nlistMu     sync.Mutex
+	nlist       map[rtree.NodeID][]model.RouteID
+	nlistGen    uint64
 }
 
-// Build constructs the index over the dataset using bulk loading.
-// The dataset is not retained; routes and transitions are copied.
-func Build(ds *model.Dataset) (*Index, error) {
+// Build constructs the index over the dataset using bulk loading, with
+// default options. The dataset is not retained; routes and transitions
+// are copied.
+func Build(ds *model.Dataset) (*Index, error) { return BuildOpts(ds, Options{}) }
+
+// BuildOpts is Build with explicit sharding options.
+func BuildOpts(ds *model.Dataset, opts Options) (*Index, error) {
+	opts.fill()
 	x := &Index{
 		routes:      make(map[model.RouteID]*model.Route, len(ds.Routes)),
 		transitions: make(map[model.TransitionID]*model.Transition, len(ds.Transitions)),
+		shardOf:     make(map[model.TransitionID]int32, len(ds.Transitions)),
 		plist:       make(map[model.StopID][]model.RouteID),
 	}
-	var rrEntries, trEntries []rtree.Entry
+	var rrEntries []rtree.Entry
 	for i := range ds.Routes {
 		r := ds.Routes[i]
 		if err := validateRoute(&r); err != nil {
@@ -69,6 +119,7 @@ func Build(ds *model.Dataset) (*Index, error) {
 			x.addToPList(cp.Stops[j], cp.ID)
 		}
 	}
+	order := make([]int, 0, len(ds.Transitions))
 	for i := range ds.Transitions {
 		tr := ds.Transitions[i]
 		if _, dup := x.transitions[tr.ID]; dup {
@@ -76,13 +127,59 @@ func Build(ds *model.Dataset) (*Index, error) {
 		}
 		cp := tr
 		x.transitions[tr.ID] = &cp
-		trEntries = append(trEntries,
+		if tr.Time != 0 {
+			x.expiry.push(timedEntry{time: tr.Time, id: tr.ID})
+		}
+		order = append(order, i)
+	}
+	// Deal transitions to shards round-robin in STR tile order: every
+	// shard receives a spatially balanced subset of about the same size.
+	strOrderTransitions(ds.Transitions, order)
+	shardEntries := make([][]rtree.Entry, opts.TRShards)
+	for k, i := range order {
+		tr := ds.Transitions[i]
+		s := int32(k % opts.TRShards)
+		x.shardOf[tr.ID] = s
+		shardEntries[s] = append(shardEntries[s],
 			rtree.Entry{Pt: tr.O, ID: tr.ID, Aux: Origin},
 			rtree.Entry{Pt: tr.D, ID: tr.ID, Aux: Destination})
 	}
-	x.rr = rtree.BulkLoad(rrEntries)
-	x.tr = rtree.BulkLoad(trEntries)
+	x.rr = rtree.BulkLoad(rrEntries, rtree.WithIDAggregate())
+	x.trShards = make([]*rtree.Tree, opts.TRShards)
+	var wg sync.WaitGroup
+	for s := range x.trShards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			x.trShards[s] = rtree.BulkLoad(shardEntries[s])
+		}(s)
+	}
+	wg.Wait()
 	return x, nil
+}
+
+// strOrderTransitions sorts the index slice `order` into STR tile order
+// of the transitions' origin points: sqrt(n) vertical slices by X, each
+// slice ordered by Y.
+func strOrderTransitions(ts []model.Transition, order []int) {
+	n := len(order)
+	if n < 2 {
+		return
+	}
+	sort.Slice(order, func(a, b int) bool { return ts[order[a]].O.X < ts[order[b]].O.X })
+	sliceCount := 1
+	for sliceCount*sliceCount < n {
+		sliceCount++
+	}
+	perSlice := (n + sliceCount - 1) / sliceCount
+	for i := 0; i < n; i += perSlice {
+		hi := i + perSlice
+		if hi > n {
+			hi = n
+		}
+		part := order[i:hi]
+		sort.Slice(part, func(a, b int) bool { return ts[part[a]].O.Y < ts[part[b]].O.Y })
+	}
 }
 
 func validateRoute(r *model.Route) error {
@@ -106,8 +203,32 @@ func copyRoute(r *model.Route) *model.Route {
 // RouteTree returns the RR-tree.
 func (x *Index) RouteTree() *rtree.Tree { return x.rr }
 
-// TransitionTree returns the TR-tree.
-func (x *Index) TransitionTree() *rtree.Tree { return x.tr }
+// TransitionShards returns the TR-tree shards. The slice is shared:
+// callers must treat it as read-only.
+func (x *Index) TransitionShards() []*rtree.Tree { return x.trShards }
+
+// NumTransitionShards returns the number of TR-tree shards.
+func (x *Index) NumTransitionShards() int { return len(x.trShards) }
+
+// TransitionShardSizes returns the number of indexed endpoints per shard
+// (two per transition), for occupancy stats.
+func (x *Index) TransitionShardSizes() []int {
+	sizes := make([]int, len(x.trShards))
+	for i, t := range x.trShards {
+		sizes[i] = t.Len()
+	}
+	return sizes
+}
+
+// TransitionPoints returns the total number of indexed transition
+// endpoints across all shards.
+func (x *Index) TransitionPoints() int {
+	n := 0
+	for _, t := range x.trShards {
+		n += t.Len()
+	}
+	return n
+}
 
 // Route returns the route with the given ID, or nil.
 func (x *Index) Route(id model.RouteID) *model.Route { return x.routes[id] }
@@ -142,8 +263,33 @@ func (x *Index) Transitions(fn func(*model.Transition) bool) {
 }
 
 // Crossover returns C(stop): the sorted set of routes covering the stop
-// (Definition 7), backed by the PList.
+// (Definition 7), backed by the PList. The returned slice is a fresh copy:
+// callers may retain and mutate it without corrupting the index. Use
+// CrossoverEach to iterate without the copy.
 func (x *Index) Crossover(stop model.StopID) []model.RouteID {
+	lst := x.plist[stop]
+	if lst == nil {
+		return nil
+	}
+	return append([]model.RouteID(nil), lst...)
+}
+
+// CrossoverEach calls fn for every route covering the stop, in ascending
+// ID order, until fn returns false. It does not allocate.
+func (x *Index) CrossoverEach(stop model.StopID, fn func(model.RouteID) bool) {
+	for _, id := range x.plist[stop] {
+		if !fn(id) {
+			return
+		}
+	}
+}
+
+// CrossoverView returns C(stop) as a shared read-only view of the
+// internal list — no copy. The slice is invalidated by route mutations
+// and MUST NOT be modified or retained across writes; it exists for the
+// query hot path (filterRoute builds one filter point per unpruned route
+// point), where Crossover's defensive copy would allocate per point.
+func (x *Index) CrossoverView(stop model.StopID) []model.RouteID {
 	return x.plist[stop]
 }
 
@@ -204,88 +350,103 @@ func (x *Index) RemoveRoute(id model.RouteID) bool {
 	return true
 }
 
-// AddTransition indexes a new transition dynamically.
+// AddTransition indexes a new transition dynamically, assigning it to a
+// shard round-robin.
 func (x *Index) AddTransition(t model.Transition) error {
-	if _, dup := x.transitions[t.ID]; dup {
-		return fmt.Errorf("index: duplicate transition ID %d", t.ID)
+	errs := x.AddTransitionsBatch([]model.Transition{t})
+	return errs[0]
+}
+
+// AddTransitionsBatch indexes a batch of transitions, applying the
+// per-shard inserts concurrently (one goroutine per shard with work).
+// errs[i] is the outcome of ts[i].
+func (x *Index) AddTransitionsBatch(ts []model.Transition) []error {
+	errs := make([]error, len(ts))
+	perShard := make([][]rtree.Entry, len(x.trShards))
+	for i := range ts {
+		t := ts[i]
+		if _, dup := x.transitions[t.ID]; dup {
+			errs[i] = fmt.Errorf("index: duplicate transition ID %d", t.ID)
+			continue
+		}
+		cp := t
+		x.transitions[t.ID] = &cp
+		s := x.nextShard
+		x.nextShard = (x.nextShard + 1) % int32(len(x.trShards))
+		x.shardOf[t.ID] = s
+		if t.Time != 0 {
+			x.expiry.push(timedEntry{time: t.Time, id: t.ID})
+		}
+		perShard[s] = append(perShard[s],
+			rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin},
+			rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
 	}
-	cp := t
-	x.transitions[t.ID] = &cp
-	x.tr.Insert(rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin})
-	x.tr.Insert(rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
-	return nil
+	x.applyPerShard(perShard, func(s int, e rtree.Entry) { x.trShards[s].Insert(e) })
+	return errs
 }
 
 // RemoveTransition removes a transition from the index. It reports whether
 // the transition was present.
 func (x *Index) RemoveTransition(id model.TransitionID) bool {
-	t, ok := x.transitions[id]
-	if !ok {
-		return false
-	}
-	x.tr.Delete(rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin})
-	x.tr.Delete(rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
-	delete(x.transitions, id)
-	return true
+	return x.RemoveTransitionsBatch([]model.TransitionID{id})[0]
 }
 
-// ExpireTransitionsBefore removes every transition with a timestamp
-// strictly before cutoff and returns how many were removed. Untimed
-// transitions (Time == 0) are kept. This implements the sliding-window
-// maintenance the paper motivates ("old transitions expire and new
-// transitions arrive").
-func (x *Index) ExpireTransitionsBefore(cutoff int64) int {
-	var victims []model.TransitionID
-	for id, t := range x.transitions {
-		if t.Time != 0 && t.Time < cutoff {
-			victims = append(victims, id)
+// RemoveTransitionsBatch removes a batch of transitions, applying the
+// per-shard deletes concurrently. existed[i] reports whether ids[i] was
+// present.
+func (x *Index) RemoveTransitionsBatch(ids []model.TransitionID) []bool {
+	existed := make([]bool, len(ids))
+	perShard := make([][]rtree.Entry, len(x.trShards))
+	for i, id := range ids {
+		t, ok := x.transitions[id]
+		if !ok {
+			continue
+		}
+		existed[i] = true
+		s := x.shardOf[id]
+		perShard[s] = append(perShard[s],
+			rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin},
+			rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
+		delete(x.transitions, id)
+		delete(x.shardOf, id)
+	}
+	x.applyPerShard(perShard, func(s int, e rtree.Entry) { x.trShards[s].Delete(e) })
+	return existed
+}
+
+// applyPerShard runs op over every queued entry, shard by shard. Shards
+// are independent trees, so with more than one processor the per-shard
+// work runs in parallel goroutines.
+func (x *Index) applyPerShard(perShard [][]rtree.Entry, op func(s int, e rtree.Entry)) {
+	busy := 0
+	for _, es := range perShard {
+		if len(es) > 0 {
+			busy++
 		}
 	}
-	for _, id := range victims {
-		x.RemoveTransition(id)
+	if busy == 0 {
+		return
 	}
-	return len(victims)
-}
-
-// NList returns the sorted set of route IDs that have at least one point
-// beneath the given RR-tree node (Section 4.1.2). The lists for the whole
-// tree are built bottom-up on first use and cached until the RR-tree
-// changes. NList is safe to call from concurrent queries; the returned
-// slice must not be modified.
-func (x *Index) NList(n *rtree.Node) []model.RouteID {
-	x.nlistMu.Lock()
-	if x.nlist == nil || x.nlistGen != x.rr.Generation() {
-		x.rebuildNList()
-	}
-	lst := x.nlist[n]
-	x.nlistMu.Unlock()
-	return lst
-}
-
-func (x *Index) rebuildNList() {
-	x.nlist = make(map[*rtree.Node][]model.RouteID)
-	x.nlistGen = x.rr.Generation()
-	var walk func(n *rtree.Node) []model.RouteID
-	walk = func(n *rtree.Node) []model.RouteID {
-		set := make(map[model.RouteID]struct{})
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
-				set[e.ID] = struct{}{}
-			}
-		} else {
-			for _, c := range n.Children() {
-				for _, id := range walk(c) {
-					set[id] = struct{}{}
-				}
+	if busy == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for s, es := range perShard {
+			for _, e := range es {
+				op(s, e)
 			}
 		}
-		ids := make([]model.RouteID, 0, len(set))
-		for id := range set {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		x.nlist[n] = ids
-		return ids
+		return
 	}
-	walk(x.rr.Root())
+	var wg sync.WaitGroup
+	for s := range perShard {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, e := range perShard[s] {
+				op(s, e)
+			}
+		}(s)
+	}
+	wg.Wait()
 }

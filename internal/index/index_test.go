@@ -46,8 +46,8 @@ func TestBuild(t *testing.T) {
 	if got := x.RouteTree().Len(); got != 4+3+2 {
 		t.Errorf("RR-tree has %d entries, want 9", got)
 	}
-	if got := x.TransitionTree().Len(); got != 6 {
-		t.Errorf("TR-tree has %d entries, want 6", got)
+	if got := x.TransitionPoints(); got != 6 {
+		t.Errorf("TR-tree shards have %d entries, want 6", got)
 	}
 	if r := x.Route(2); r == nil || r.Len() != 3 {
 		t.Errorf("Route(2) = %v", r)
@@ -165,8 +165,8 @@ func TestDynamicTransitions(t *testing.T) {
 	if x.RemoveTransition(10) {
 		t.Error("double remove succeeded")
 	}
-	if x.TransitionTree().Len() != 6 {
-		t.Errorf("TR-tree has %d entries, want 6", x.TransitionTree().Len())
+	if x.TransitionPoints() != 6 {
+		t.Errorf("TR-tree shards have %d entries, want 6", x.TransitionPoints())
 	}
 }
 
@@ -235,15 +235,16 @@ func TestNListInvalidatedByUpdate(t *testing.T) {
 
 func verifyNList(t *testing.T, x *Index) {
 	t.Helper()
-	var walk func(n *rtree.Node) map[int32]bool
-	walk = func(n *rtree.Node) map[int32]bool {
+	tree := x.RouteTree()
+	var walk func(n rtree.NodeID) map[int32]bool
+	walk = func(n rtree.NodeID) map[int32]bool {
 		want := map[int32]bool{}
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
+		if tree.IsLeaf(n) {
+			for _, e := range tree.Entries(n) {
 				want[e.ID] = true
 			}
 		} else {
-			for _, c := range n.Children() {
+			for _, c := range tree.Children(n) {
 				for id := range walk(c) {
 					want[id] = true
 				}

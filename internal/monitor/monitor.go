@@ -128,67 +128,85 @@ func (m *Monitor) Results(id QueryID) ([]model.TransitionID, error) {
 // Add indexes a new transition and updates every standing query,
 // returning the resulting events (at most one per query).
 func (m *Monitor) Add(t model.Transition) ([]Event, error) {
+	events, errs := m.AddBatch([]model.Transition{t})
+	return events, errs[0]
+}
+
+// AddBatch indexes a batch of transitions in one pass — the index applies
+// the per-shard inserts concurrently — and updates every standing query.
+// errs[i] is the outcome of ts[i]; events cover the whole batch in ts
+// order.
+func (m *Monitor) AddBatch(ts []model.Transition) ([]Event, []error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.x.AddTransition(t); err != nil {
-		return nil, err
-	}
+	errs := m.x.AddTransitionsBatch(ts)
 	var events []Event
-	for _, st := range m.queries {
-		mask := uint8(0)
-		if core.TakesQueryAsKNN(m.x, st.query, t.O, st.k) {
-			mask |= 1
+	for i := range ts {
+		if errs[i] != nil {
+			continue
 		}
-		if core.TakesQueryAsKNN(m.x, st.query, t.D, st.k) {
-			mask |= 2
-		}
-		if mask != 0 {
-			st.masks[t.ID] = mask
-		}
-		if st.matches(mask) {
-			st.results[t.ID] = true
-			events = append(events, Event{Query: st.id, Transition: t.ID, Added: true})
+		t := ts[i]
+		for _, st := range m.queries {
+			mask := uint8(0)
+			if core.TakesQueryAsKNN(m.x, st.query, t.O, st.k) {
+				mask |= 1
+			}
+			if core.TakesQueryAsKNN(m.x, st.query, t.D, st.k) {
+				mask |= 2
+			}
+			if mask != 0 {
+				st.masks[t.ID] = mask
+			}
+			if st.matches(mask) {
+				st.results[t.ID] = true
+				events = append(events, Event{Query: st.id, Transition: t.ID, Added: true})
+			}
 		}
 	}
-	return events, nil
+	return events, errs
 }
 
 // Remove drops a transition and updates every standing query, returning
 // the resulting events.
 func (m *Monitor) Remove(id model.TransitionID) ([]Event, bool) {
+	events, existed := m.RemoveBatch([]model.TransitionID{id})
+	return events, existed[0]
+}
+
+// RemoveBatch drops a batch of transitions in one pass (per-shard deletes
+// applied concurrently) and updates every standing query. existed[i]
+// reports whether ids[i] was present.
+func (m *Monitor) RemoveBatch(ids []model.TransitionID) ([]Event, []bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !m.x.RemoveTransition(id) {
-		return nil, false
-	}
+	existed := m.x.RemoveTransitionsBatch(ids)
 	var events []Event
-	for _, st := range m.queries {
-		delete(st.masks, id)
-		if st.results[id] {
-			delete(st.results, id)
-			events = append(events, Event{Query: st.id, Transition: id, Added: false})
+	for i, id := range ids {
+		if !existed[i] {
+			continue
+		}
+		for _, st := range m.queries {
+			delete(st.masks, id)
+			if st.results[id] {
+				delete(st.results, id)
+				events = append(events, Event{Query: st.id, Transition: id, Added: false})
+			}
 		}
 	}
-	return events, true
+	return events, existed
 }
 
 // ExpireBefore removes every timed transition older than cutoff,
-// returning all resulting events.
+// returning all resulting events. Victims come from the index's expiry
+// heap — O(expired · log n), not a scan of every live transition.
 func (m *Monitor) ExpireBefore(cutoff int64) []Event {
-	var victims []model.TransitionID
 	m.mu.Lock()
-	m.x.Transitions(func(t *model.Transition) bool {
-		if t.Time != 0 && t.Time < cutoff {
-			victims = append(victims, t.ID)
-		}
-		return true
-	})
+	victims := m.x.DrainTimedBefore(cutoff)
 	m.mu.Unlock()
-	var events []Event
-	for _, id := range victims {
-		evs, _ := m.Remove(id)
-		events = append(events, evs...)
+	if len(victims) == 0 {
+		return nil
 	}
+	events, _ := m.RemoveBatch(victims)
 	return events
 }
 

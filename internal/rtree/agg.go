@@ -1,0 +1,136 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Distinct-ID aggregate maintenance (WithIDAggregate). Every node keeps
+// the sorted distinct Entry.ID values beneath it plus a parallel refcount
+// slice. Inserts and deletes merge/unmerge one ID along the ancestor
+// chain (O(depth) list touches); splits rebuild only the two halves;
+// condense unmerges a detached subtree's whole multiset from its
+// ancestors. The refcounts are what make unmerging exact: an ID leaves a
+// node's list only when its last occurrence below the node is gone.
+
+// aggAdd merges one occurrence of id into node n's aggregate.
+func (t *Tree) aggAdd(n NodeID, id int32) { t.aggAddN(n, id, 1) }
+
+// aggAddN merges k occurrences of id into node n's aggregate.
+func (t *Tree) aggAddN(n NodeID, id, k int32) {
+	ids := t.aggIDs[n]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		t.aggCnt[n][i] += k
+		return
+	}
+	t.aggIDs[n] = append(ids, 0)
+	copy(t.aggIDs[n][i+1:], t.aggIDs[n][i:])
+	t.aggIDs[n][i] = id
+	cnt := t.aggCnt[n]
+	t.aggCnt[n] = append(cnt, 0)
+	copy(t.aggCnt[n][i+1:], t.aggCnt[n][i:])
+	t.aggCnt[n][i] = k
+}
+
+// aggSub unmerges one occurrence of id from node n's aggregate.
+func (t *Tree) aggSub(n NodeID, id int32) { t.aggSubN(n, id, 1) }
+
+// aggSubN unmerges k occurrences of id from node n's aggregate.
+func (t *Tree) aggSubN(n NodeID, id, k int32) {
+	ids := t.aggIDs[n]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i >= len(ids) || ids[i] != id {
+		panic("rtree: aggregate underflow: id not present")
+	}
+	t.aggCnt[n][i] -= k
+	if t.aggCnt[n][i] > 0 {
+		return
+	}
+	if t.aggCnt[n][i] < 0 {
+		panic("rtree: aggregate refcount went negative")
+	}
+	t.aggIDs[n] = append(ids[:i], ids[i+1:]...)
+	t.aggCnt[n] = append(t.aggCnt[n][:i], t.aggCnt[n][i+1:]...)
+}
+
+// aggSubNode unmerges child's entire aggregate multiset from node n. Used
+// when condense detaches a subtree: the ancestors above lose everything
+// the subtree held, in one pass per ancestor.
+func (t *Tree) aggSubNode(n, child NodeID) {
+	ids, cnts := t.aggIDs[child], t.aggCnt[child]
+	for i, id := range ids {
+		t.aggSubN(n, id, cnts[i])
+	}
+}
+
+// rebuildAgg recomputes node n's aggregate locally: leaves scan their
+// entries, internal nodes merge their children's (already correct)
+// aggregates. Called for the two halves of a split, where the ancestor
+// aggregates are untouched (same multiset, new partition).
+func (t *Tree) rebuildAgg(n NodeID) {
+	t.aggIDs[n] = t.aggIDs[n][:0]
+	t.aggCnt[n] = t.aggCnt[n][:0]
+	if t.leaf[n] {
+		for _, e := range t.Entries(n) {
+			t.aggAdd(n, e.ID)
+		}
+		return
+	}
+	for _, c := range t.Children(n) {
+		ids, cnts := t.aggIDs[c], t.aggCnt[c]
+		for i, id := range ids {
+			t.aggAddN(n, id, cnts[i])
+		}
+	}
+}
+
+// rebuildAggDeep recomputes the aggregate of the whole subtree bottom-up
+// (bulk loading).
+func (t *Tree) rebuildAggDeep(n NodeID) {
+	if !t.leaf[n] {
+		for _, c := range t.Children(n) {
+			t.rebuildAggDeep(c)
+		}
+	}
+	t.rebuildAgg(n)
+}
+
+// checkAgg verifies the aggregate of every node in the subtree against a
+// from-scratch recount; used by checkInvariants in tests.
+func (t *Tree) checkAgg(n NodeID) error {
+	want := map[int32]int32{}
+	var count func(m NodeID)
+	count = func(m NodeID) {
+		if t.leaf[m] {
+			for _, e := range t.Entries(m) {
+				want[e.ID]++
+			}
+			return
+		}
+		for _, c := range t.Children(m) {
+			count(c)
+		}
+	}
+	count(n)
+	ids, cnts := t.aggIDs[n], t.aggCnt[n]
+	if len(ids) != len(want) {
+		return fmt.Errorf("node %d: aggregate has %d distinct ids, want %d", n, len(ids), len(want))
+	}
+	for i, id := range ids {
+		if i > 0 && ids[i-1] >= id {
+			return fmt.Errorf("node %d: aggregate ids not strictly sorted", n)
+		}
+		if cnts[i] != want[id] {
+			return fmt.Errorf("node %d: id %d refcount %d, want %d", n, id, cnts[i], want[id])
+		}
+	}
+	if !t.leaf[n] {
+		for _, c := range t.Children(n) {
+			if err := t.checkAgg(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

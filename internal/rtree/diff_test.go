@@ -1,0 +1,214 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// Differential property test for the flat arena tree (seeded, in the
+// spirit of quick_test.go): randomized interleavings of insert, delete
+// and bulk-load are cross-checked against a naive linear-scan reference
+// for range search, kNN and the per-node distinct-ID aggregate that backs
+// the NList.
+
+type refStore []Entry
+
+func (r *refStore) insert(e Entry) { *r = append(*r, e) }
+
+func (r *refStore) delete(e Entry) bool {
+	for i, x := range *r {
+		if x == e {
+			*r = append((*r)[:i], (*r)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r refStore) rangeIDs(rect geo.Rect) map[Entry]int {
+	out := map[Entry]int{}
+	for _, e := range r {
+		if rect.Contains(e.Pt) {
+			out[e]++
+		}
+	}
+	return out
+}
+
+func (r refStore) knnDists(p geo.Point, k int) []float64 {
+	d := make([]float64, len(r))
+	for i, e := range r {
+		d[i] = p.Dist(e.Pt)
+	}
+	sort.Float64s(d)
+	if k > len(d) {
+		k = len(d)
+	}
+	return d[:k]
+}
+
+func TestDifferentialFlatTree(t *testing.T) {
+	seeds := []int64{101, 202, 303, 404, 505}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+
+		var ref refStore
+		tr := New(WithIDAggregate())
+
+		// Occasionally restart from a bulk load of the current reference
+		// contents, so STR-built structure gets mutated dynamically too.
+		steps := 1500
+		if testing.Short() {
+			steps = 400
+		}
+		for step := 0; step < steps; step++ {
+			switch k := rng.Intn(100); {
+			case k < 45: // insert
+				e := Entry{
+					Pt:  geo.Pt(float64(rng.Intn(60)), float64(rng.Intn(60))),
+					ID:  int32(rng.Intn(40)), // small ID space: aggregates overlap heavily
+					Aux: int32(rng.Intn(8)),
+				}
+				ref.insert(e)
+				tr.Insert(e)
+			case k < 70: // delete (usually a live entry)
+				var e Entry
+				if len(ref) > 0 && rng.Intn(5) > 0 {
+					e = ref[rng.Intn(len(ref))]
+				} else {
+					e = Entry{Pt: geo.Pt(float64(rng.Intn(60)), float64(rng.Intn(60))), ID: int32(rng.Intn(40))}
+				}
+				want := ref.delete(e)
+				if got := tr.Delete(e); got != want {
+					t.Fatalf("seed %d step %d: Delete(%v) = %v, want %v", seed, step, e, got, want)
+				}
+			case k < 72: // rebuild via bulk load
+				tr = BulkLoad(append([]Entry(nil), ref...), WithIDAggregate())
+			case k < 90: // range query
+				a := geo.Pt(float64(rng.Intn(60)), float64(rng.Intn(60)))
+				b := geo.Pt(float64(rng.Intn(60)), float64(rng.Intn(60)))
+				rect := geo.RectOf(a).ExpandPoint(b)
+				want := ref.rangeIDs(rect)
+				got := map[Entry]int{}
+				tr.Search(rect, func(e Entry) bool {
+					got[e]++
+					return true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("seed %d step %d: range returned %d distinct, want %d", seed, step, len(got), len(want))
+				}
+				for e, c := range want {
+					if got[e] != c {
+						t.Fatalf("seed %d step %d: range count for %v = %d, want %d", seed, step, e, got[e], c)
+					}
+				}
+			default: // kNN
+				p := geo.Pt(rng.Float64()*70-5, rng.Float64()*70-5)
+				kk := 1 + rng.Intn(12)
+				want := ref.knnDists(p, kk)
+				got := tr.NearestK(p, kk)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d step %d: kNN returned %d, want %d", seed, step, len(got), len(want))
+				}
+				for i := range got {
+					if absDiff(got[i].Dist, want[i]) > 1e-9 {
+						t.Fatalf("seed %d step %d: kNN dist[%d] = %v, want %v", seed, step, i, got[i].Dist, want[i])
+					}
+				}
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("seed %d step %d: Len = %d, want %d", seed, step, tr.Len(), len(ref))
+			}
+			if step%97 == 0 {
+				if err := tr.checkInvariants(false); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				verifyAggAgainstRef(t, tr, ref)
+			}
+		}
+		if err := tr.checkInvariants(false); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+		verifyAggAgainstRef(t, tr, ref)
+	}
+}
+
+// verifyAggAgainstRef walks every node and checks IDList against a naive
+// recount of the entries beneath it.
+func verifyAggAgainstRef(t *testing.T, tr *Tree, ref refStore) {
+	t.Helper()
+	var walk func(n NodeID) map[int32]bool
+	walk = func(n NodeID) map[int32]bool {
+		want := map[int32]bool{}
+		if tr.IsLeaf(n) {
+			for _, e := range tr.Entries(n) {
+				want[e.ID] = true
+			}
+		} else {
+			for _, c := range tr.Children(n) {
+				for id := range walk(c) {
+					want[id] = true
+				}
+			}
+		}
+		got := tr.IDList(n)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: IDList has %d ids, want %d", n, len(got), len(want))
+		}
+		for i, id := range got {
+			if i > 0 && got[i-1] >= id {
+				t.Fatalf("node %d: IDList not sorted", n)
+			}
+			if !want[id] {
+				t.Fatalf("node %d: IDList contains %d not under node", n, id)
+			}
+		}
+		return want
+	}
+	total := walk(tr.Root())
+	wantTotal := map[int32]bool{}
+	for _, e := range ref {
+		wantTotal[e.ID] = true
+	}
+	if len(total) != len(wantTotal) {
+		t.Fatalf("root IDList covers %d ids, reference has %d", len(total), len(wantTotal))
+	}
+}
+
+// TestArenaRecycling checks that node IDs freed by deletes are reused and
+// the arena does not grow monotonically under churn.
+func TestArenaRecycling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(WithIDAggregate())
+	entries := randEntries(rng, 2000)
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	grown := len(tr.rects)
+	for round := 0; round < 3; round++ {
+		for _, e := range entries {
+			if !tr.Delete(e) {
+				t.Fatalf("round %d: delete failed", round)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("round %d: Len = %d", round, tr.Len())
+		}
+		for _, e := range entries {
+			tr.Insert(e)
+		}
+	}
+	if len(tr.rects) > grown*2 {
+		t.Fatalf("arena grew from %d to %d node slots over churn; free list not recycling", grown, len(tr.rects))
+	}
+	if err := tr.checkInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,11 +27,11 @@ func (t *Tree) NearestK(p geo.Point, k int) []Neighbor {
 	}
 	h := &distHeap{}
 	heap.Init(h)
-	heap.Push(h, distItem{node: t.root, dist: t.root.rect.MinDist2(p)})
+	heap.Push(h, distItem{node: t.root, dist: t.rects[t.root].MinDist2(p)})
 	out := make([]Neighbor, 0, k)
 	for h.Len() > 0 {
 		it := heap.Pop(h).(distItem)
-		if it.node == nil {
+		if it.node == NilNode {
 			out = append(out, Neighbor{Entry: it.entry, Dist: math.Sqrt(it.dist)})
 			if len(out) == k {
 				return out
@@ -39,13 +39,13 @@ func (t *Tree) NearestK(p geo.Point, k int) []Neighbor {
 			continue
 		}
 		n := it.node
-		if n.leaf {
-			for _, e := range n.entries {
-				heap.Push(h, distItem{entry: e, dist: e.Pt.Dist2(p)})
+		if t.leaf[n] {
+			for _, e := range t.Entries(n) {
+				heap.Push(h, distItem{node: NilNode, entry: e, dist: e.Pt.Dist2(p)})
 			}
 		} else {
-			for _, c := range n.children {
-				heap.Push(h, distItem{node: c, dist: c.rect.MinDist2(p)})
+			for _, c := range t.Children(n) {
+				heap.Push(h, distItem{node: c, dist: t.rects[c].MinDist2(p)})
 			}
 		}
 	}
@@ -69,11 +69,11 @@ func (t *Tree) NearestRouteK(query []geo.Point, k int) []Neighbor {
 	}
 	h := &distHeap{}
 	heap.Init(h)
-	heap.Push(h, distItem{node: t.root, dist: minDist2(t.root.rect)})
+	heap.Push(h, distItem{node: t.root, dist: minDist2(t.rects[t.root])})
 	out := make([]Neighbor, 0, k)
 	for h.Len() > 0 {
 		it := heap.Pop(h).(distItem)
-		if it.node == nil {
+		if it.node == NilNode {
 			out = append(out, Neighbor{Entry: it.entry, Dist: math.Sqrt(it.dist)})
 			if len(out) == k {
 				return out
@@ -81,22 +81,22 @@ func (t *Tree) NearestRouteK(query []geo.Point, k int) []Neighbor {
 			continue
 		}
 		n := it.node
-		if n.leaf {
-			for _, e := range n.entries {
-				heap.Push(h, distItem{entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
+		if t.leaf[n] {
+			for _, e := range t.Entries(n) {
+				heap.Push(h, distItem{node: NilNode, entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
 			}
 		} else {
-			for _, c := range n.children {
-				heap.Push(h, distItem{node: c, dist: minDist2(c.rect)})
+			for _, c := range t.Children(n) {
+				heap.Push(h, distItem{node: c, dist: minDist2(t.rects[c])})
 			}
 		}
 	}
 	return out
 }
 
-// distItem is either a node (node != nil) or a materialised entry.
+// distItem is either a node (node != NilNode) or a materialised entry.
 type distItem struct {
-	node  *Node
+	node  NodeID
 	entry Entry
 	dist  float64
 }
@@ -118,30 +118,33 @@ func (h *distHeap) Pop() interface{} {
 // BulkLoad builds a tree from entries using Sort-Tile-Recursive packing.
 // It is much faster than repeated Insert for large static datasets and
 // produces well-shaped nodes. The input slice is reordered in place.
-func BulkLoad(entries []Entry) *Tree {
-	t := New()
+func BulkLoad(entries []Entry, opts ...Option) *Tree {
+	t := New(opts...)
 	if len(entries) == 0 {
 		return t
 	}
+	t.freeNode(t.root) // New's empty leaf root; STR packing replaces it
 	t.size = len(entries)
-	leaves := strPack(entries)
-	nodes := make([]*Node, len(leaves))
-	copy(nodes, leaves)
+	nodes := t.strPack(entries)
 	for len(nodes) > 1 {
-		nodes = packNodes(nodes)
+		nodes = t.packNodes(nodes)
 	}
 	t.root = nodes[0]
+	t.parent[t.root] = NilNode
+	if t.trackIDs {
+		t.rebuildAggDeep(t.root)
+	}
 	return t
 }
 
-// strPack tiles entries into leaves of up to maxEntries each.
-func strPack(entries []Entry) []*Node {
+// strPack tiles entries into arena leaves of up to maxEntries each.
+func (t *Tree) strPack(entries []Entry) []NodeID {
 	n := len(entries)
 	leafCount := (n + maxEntries - 1) / maxEntries
 	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
 	sortEntriesBy(entries, true)
 	perSlice := (n + sliceCount - 1) / sliceCount
-	var leaves []*Node
+	var leaves []NodeID
 	for i := 0; i < n; i += perSlice {
 		hi := i + perSlice
 		if hi > n {
@@ -154,38 +157,47 @@ func strPack(entries []Entry) []*Node {
 			if k > len(slice) {
 				k = len(slice)
 			}
-			leaf := &Node{leaf: true, entries: append([]Entry(nil), slice[j:k]...)}
-			recomputeRect(leaf)
+			leaf := t.alloc(true)
+			base := int(leaf) * slotsPerNode
+			copy(t.ents[base:], slice[j:k])
+			t.counts[leaf] = int32(k - j)
+			t.recomputeRect(leaf)
 			leaves = append(leaves, leaf)
 		}
 	}
 	return leaves
 }
 
-// packNodes groups nodes into parents of up to maxEntries children using the
-// same tiling on node centers.
-func packNodes(nodes []*Node) []*Node {
+// packNodes groups nodes into parents of up to maxEntries children using
+// the same tiling on node centers.
+func (t *Tree) packNodes(nodes []NodeID) []NodeID {
 	n := len(nodes)
 	parentCount := (n + maxEntries - 1) / maxEntries
 	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
-	sortNodesBy(nodes, true)
+	t.sortNodesBy(nodes, true)
 	perSlice := (n + sliceCount - 1) / sliceCount
-	var parents []*Node
+	var parents []NodeID
 	for i := 0; i < n; i += perSlice {
 		hi := i + perSlice
 		if hi > n {
 			hi = n
 		}
 		slice := nodes[i:hi]
-		sortNodesBy(slice, false)
+		t.sortNodesBy(slice, false)
 		for j := 0; j < len(slice); j += maxEntries {
 			k := j + maxEntries
 			if k > len(slice) {
 				k = len(slice)
 			}
-			parent := &Node{children: append([]*Node(nil), slice[j:k]...)}
-			recomputeRect(parent)
-			parents = append(parents, parent)
+			par := t.alloc(false)
+			base := int(par) * slotsPerNode
+			copy(t.kids[base:], slice[j:k])
+			t.counts[par] = int32(k - j)
+			for _, c := range slice[j:k] {
+				t.parent[c] = par
+			}
+			t.recomputeRect(par)
+			parents = append(parents, par)
 		}
 	}
 	return parents
@@ -199,10 +211,10 @@ func sortEntriesBy(entries []Entry, byX bool) {
 	}
 }
 
-func sortNodesBy(nodes []*Node, byX bool) {
+func (t *Tree) sortNodesBy(nodes []NodeID, byX bool) {
 	if byX {
-		sortSlice(nodes, func(a, b *Node) bool { return a.rect.Center().X < b.rect.Center().X })
+		sortSlice(nodes, func(a, b NodeID) bool { return t.rects[a].Center().X < t.rects[b].Center().X })
 	} else {
-		sortSlice(nodes, func(a, b *Node) bool { return a.rect.Center().Y < b.rect.Center().Y })
+		sortSlice(nodes, func(a, b NodeID) bool { return t.rects[a].Center().Y < t.rects[b].Center().Y })
 	}
 }

@@ -3,9 +3,25 @@
 // range and k-nearest-neighbour search, and direct node access for the
 // best-first traversals used by the RkNNT filter-refinement framework.
 //
+// # Flat arena layout
+//
+// Nodes are not heap objects: the tree is a struct-of-arrays arena
+// addressed by int32 NodeIDs. Rects, fill counts, parent links, child ID
+// blocks and leaf entry blocks live in contiguous slices with a fixed
+// stride per node, so traversals walk flat memory instead of chasing
+// pointers and mutations never allocate per node (freed IDs are recycled
+// through a free list). Callers traverse with NodeID handles and the
+// accessor methods on Tree.
+//
 // The tree stores Entry values: a point plus two integer payload fields.
 // The RkNNT indexes use ID for the owning route/transition and Aux for the
 // stop ID or the origin/destination role.
+//
+// With WithIDAggregate the tree additionally maintains, per node, the
+// sorted set of distinct Entry.ID values stored beneath it (with
+// refcounts), updated incrementally along the insert/delete path. This is
+// the NList of the RkNNT paper kept fresh in O(depth) per update instead
+// of rebuilt in O(tree) per change.
 package rtree
 
 import (
@@ -26,49 +42,87 @@ type Entry struct {
 const (
 	maxEntries = 32
 	minEntries = 13
+	// slotsPerNode is the per-node block stride in the kids/ents arenas:
+	// one slot beyond maxEntries so a node can hold the overflowing
+	// element while it is being split.
+	slotsPerNode = maxEntries + 1
 )
 
-// Node is an R-tree node. Leaves hold entries; internal nodes hold child
-// nodes. Fields are unexported: traversal code uses the accessor methods.
-type Node struct {
-	rect     geo.Rect
-	leaf     bool
-	children []*Node
-	entries  []Entry
-}
+// NodeID addresses a node in the tree's arena. IDs are recycled after
+// deletes; a NodeID is only meaningful against the tree that issued it
+// and is invalidated by any structural change (watch Generation).
+type NodeID int32
 
-// IsLeaf reports whether the node is a leaf.
-func (n *Node) IsLeaf() bool { return n.leaf }
+// NilNode is the invalid NodeID (no parent, not found).
+const NilNode NodeID = -1
 
-// Rect returns the node's minimum bounding rectangle.
-func (n *Node) Rect() geo.Rect { return n.rect }
-
-// Children returns the child nodes of an internal node (nil for leaves).
-func (n *Node) Children() []*Node { return n.children }
-
-// Entries returns the entries of a leaf node (nil for internal nodes).
-func (n *Node) Entries() []Entry { return n.entries }
-
-// Tree is a dynamic R-tree. The zero value is not usable; call New.
+// Tree is a dynamic R-tree backed by a flat arena. The zero value is not
+// usable; call New or BulkLoad. Tree is not safe for concurrent mutation;
+// concurrent read-only use is safe.
 type Tree struct {
-	root *Node
+	// Per-node arrays, indexed by NodeID.
+	rects  []geo.Rect
+	leaf   []bool
+	counts []int32  // live children (internal) or entries (leaf)
+	parent []NodeID // NilNode for the root
+	// Fixed-stride blocks: node n owns kids[n*slotsPerNode : ...] and
+	// ents[n*slotsPerNode : ...]. Only one of the two blocks is live per
+	// node (kids for internal nodes, ents for leaves).
+	kids []NodeID
+	ents []Entry
+
+	free []NodeID // recycled node IDs
+
+	root NodeID
 	size int
 	// generation increments on every structural change so that caches
-	// keyed by node pointers (e.g. the NList) can detect staleness.
+	// keyed by node IDs can detect staleness.
 	generation uint64
+
+	// Optional distinct-ID aggregate (see WithIDAggregate): per node, the
+	// sorted distinct Entry.ID values beneath it plus parallel refcounts.
+	trackIDs bool
+	aggIDs   [][]int32
+	aggCnt   [][]int32
+
+	// Reusable scratch buffers (single-writer only).
+	pathBuf   []NodeID
+	splitEnts [slotsPerNode]Entry
+	splitKids [slotsPerNode]NodeID
+}
+
+// Option configures a Tree at construction time.
+type Option func(*Tree)
+
+// WithIDAggregate enables per-node distinct-ID tracking: IDList reports
+// the sorted set of Entry.ID values under any node, maintained
+// incrementally (merge/unmerge along the ancestor chain) on every insert,
+// delete and split.
+func WithIDAggregate() Option {
+	return func(t *Tree) { t.trackIDs = true }
 }
 
 // New returns an empty tree.
-func New() *Tree {
-	return &Tree{root: &Node{leaf: true, rect: geo.EmptyRect()}}
+func New(opts ...Option) *Tree {
+	t := &Tree{root: NilNode}
+	for _, o := range opts {
+		o(t)
+	}
+	t.root = t.alloc(true)
+	return t
 }
 
 // Len returns the number of entries in the tree.
 func (t *Tree) Len() int { return t.size }
 
-// Root returns the root node for manual traversal. The returned node (and
-// everything below it) is invalidated by any subsequent Insert or Delete.
-func (t *Tree) Root() *Node { return t.root }
+// NumNodes returns the number of live nodes in the arena (capacity minus
+// the free list); exposed for occupancy stats.
+func (t *Tree) NumNodes() int { return len(t.rects) - len(t.free) }
+
+// Root returns the root node ID for manual traversal. The returned ID
+// (and everything below it) is invalidated by any subsequent Insert or
+// Delete.
+func (t *Tree) Root() NodeID { return t.root }
 
 // Generation returns a counter that changes whenever the tree structure
 // changes. Caches built against a Root() snapshot should be discarded when
@@ -76,186 +130,275 @@ func (t *Tree) Root() *Node { return t.root }
 func (t *Tree) Generation() uint64 { return t.generation }
 
 // Bounds returns the MBR of all entries (empty rect if the tree is empty).
-func (t *Tree) Bounds() geo.Rect { return t.root.rect }
+func (t *Tree) Bounds() geo.Rect { return t.rects[t.root] }
+
+// IsLeaf reports whether the node is a leaf.
+func (t *Tree) IsLeaf(n NodeID) bool { return t.leaf[n] }
+
+// Rect returns the node's minimum bounding rectangle.
+func (t *Tree) Rect(n NodeID) geo.Rect { return t.rects[n] }
+
+// Children returns the child IDs of an internal node (empty for leaves).
+// The slice aliases the arena: read-only, invalidated by mutations.
+func (t *Tree) Children(n NodeID) []NodeID {
+	base := int(n) * slotsPerNode
+	return t.kids[base : base+int(t.counts[n])]
+}
+
+// Entries returns the entries of a leaf node (empty for internal nodes).
+// The slice aliases the arena: read-only, invalidated by mutations.
+func (t *Tree) Entries(n NodeID) []Entry {
+	base := int(n) * slotsPerNode
+	return t.ents[base : base+int(t.counts[n])]
+}
+
+// IDList returns the sorted distinct Entry.ID values stored beneath the
+// node. It requires WithIDAggregate (nil otherwise). The slice aliases
+// internal state: read-only, invalidated by mutations.
+func (t *Tree) IDList(n NodeID) []int32 {
+	if !t.trackIDs {
+		return nil
+	}
+	return t.aggIDs[n]
+}
+
+// TracksIDs reports whether the tree maintains the distinct-ID aggregate.
+func (t *Tree) TracksIDs() bool { return t.trackIDs }
+
+// alloc returns a fresh node, recycling the free list when possible. The
+// node starts empty with an empty rect and no parent.
+func (t *Tree) alloc(leaf bool) NodeID {
+	if k := len(t.free); k > 0 {
+		n := t.free[k-1]
+		t.free = t.free[:k-1]
+		t.rects[n] = geo.EmptyRect()
+		t.leaf[n] = leaf
+		t.counts[n] = 0
+		t.parent[n] = NilNode
+		return n
+	}
+	n := NodeID(len(t.rects))
+	t.rects = append(t.rects, geo.EmptyRect())
+	t.leaf = append(t.leaf, leaf)
+	t.counts = append(t.counts, 0)
+	t.parent = append(t.parent, NilNode)
+	t.kids = append(t.kids, make([]NodeID, slotsPerNode)...)
+	t.ents = append(t.ents, make([]Entry, slotsPerNode)...)
+	if t.trackIDs {
+		t.aggIDs = append(t.aggIDs, nil)
+		t.aggCnt = append(t.aggCnt, nil)
+	}
+	return n
+}
+
+// freeNode recycles a node ID. The caller must already have detached it.
+func (t *Tree) freeNode(n NodeID) {
+	t.counts[n] = 0
+	t.parent[n] = NilNode
+	if t.trackIDs {
+		t.aggIDs[n] = t.aggIDs[n][:0]
+		t.aggCnt[n] = t.aggCnt[n][:0]
+	}
+	t.free = append(t.free, n)
+}
 
 // Insert adds an entry to the tree.
 func (t *Tree) Insert(e Entry) {
 	t.generation++
 	t.size++
-	path := chooseLeafPath(t.root, e.Pt)
+	path := t.chooseLeafPath(e.Pt)
 	leaf := path[len(path)-1]
-	leaf.entries = append(leaf.entries, e)
+	base := int(leaf) * slotsPerNode
+	t.ents[base+int(t.counts[leaf])] = e
+	t.counts[leaf]++
 	for _, n := range path {
-		n.rect = n.rect.ExpandPoint(e.Pt)
+		t.rects[n] = t.rects[n].ExpandPoint(e.Pt)
+		if t.trackIDs {
+			t.aggAdd(n, e.ID)
+		}
 	}
 	// Split overflowing nodes bottom-up.
 	for i := len(path) - 1; i >= 0; i-- {
 		cur := path[i]
-		if !cur.overflow() {
+		if int(t.counts[cur]) <= maxEntries {
 			break
 		}
-		left, right := splitNode(cur)
+		sib := t.splitNode(cur)
 		if i == 0 { // root split: grow the tree
-			t.root = &Node{
-				leaf:     false,
-				children: []*Node{left, right},
-				rect:     left.rect.Union(right.rect),
+			r := t.alloc(false)
+			rb := int(r) * slotsPerNode
+			t.kids[rb] = cur
+			t.kids[rb+1] = sib
+			t.counts[r] = 2
+			t.parent[cur] = r
+			t.parent[sib] = r
+			t.rects[r] = t.rects[cur].Union(t.rects[sib])
+			if t.trackIDs {
+				t.rebuildAgg(r)
 			}
+			t.root = r
 		} else {
-			parent := path[i-1]
-			replaceChild(parent, cur, left, right)
+			par := path[i-1]
+			pb := int(par) * slotsPerNode
+			t.kids[pb+int(t.counts[par])] = sib
+			t.counts[par]++
+			t.parent[sib] = par
 		}
 	}
-}
-
-func (n *Node) overflow() bool {
-	if n.leaf {
-		return len(n.entries) > maxEntries
-	}
-	return len(n.children) > maxEntries
-}
-
-func replaceChild(parent *Node, old, a, b *Node) {
-	for i, c := range parent.children {
-		if c == old {
-			parent.children[i] = a
-			parent.children = append(parent.children, b)
-			return
-		}
-	}
-	panic("rtree: child not found during split")
-}
-
-func recomputeRect(n *Node) {
-	r := geo.EmptyRect()
-	if n.leaf {
-		for _, e := range n.entries {
-			r = r.ExpandPoint(e.Pt)
-		}
-	} else {
-		for _, c := range n.children {
-			r = r.Union(c.rect)
-		}
-	}
-	n.rect = r
 }
 
 // chooseLeafPath descends to the leaf whose MBR needs the least enlargement
 // to cover p, breaking ties by smaller area (Guttman's ChooseLeaf), and
-// returns the root..leaf path.
-func chooseLeafPath(n *Node, p geo.Point) []*Node {
-	path := []*Node{n}
-	for !n.leaf {
-		var best *Node
+// returns the root..leaf path in a reused scratch buffer.
+func (t *Tree) chooseLeafPath(p geo.Point) []NodeID {
+	n := t.root
+	path := append(t.pathBuf[:0], n)
+	for !t.leaf[n] {
+		best := NilNode
 		bestEnl, bestArea := 0.0, 0.0
-		for _, c := range n.children {
-			enl := c.rect.Enlargement(geo.RectOf(p))
-			area := c.rect.Area()
-			if best == nil || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+		for _, c := range t.Children(n) {
+			enl := t.rects[c].Enlargement(geo.RectOf(p))
+			area := t.rects[c].Area()
+			if best == NilNode || enl < bestEnl || (enl == bestEnl && area < bestArea) {
 				best, bestEnl, bestArea = c, enl, area
 			}
 		}
 		n = best
 		path = append(path, n)
 	}
+	t.pathBuf = path
 	return path
+}
+
+func (t *Tree) recomputeRect(n NodeID) {
+	r := geo.EmptyRect()
+	if t.leaf[n] {
+		for _, e := range t.Entries(n) {
+			r = r.ExpandPoint(e.Pt)
+		}
+	} else {
+		for _, c := range t.Children(n) {
+			r = r.Union(t.rects[c])
+		}
+	}
+	t.rects[n] = r
 }
 
 // Delete removes one entry equal to e (same point and payload). It reports
 // whether an entry was removed. Underfull nodes are condensed: their
 // remaining entries are reinserted, as in Guttman's CondenseTree.
 func (t *Tree) Delete(e Entry) bool {
-	leaf, path := findLeaf(t.root, nil, e)
-	if leaf == nil {
+	leaf := t.findLeaf(t.root, e)
+	if leaf == NilNode {
 		return false
 	}
 	t.generation++
 	t.size--
-	for i, le := range leaf.entries {
-		if le == e {
-			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+	base := int(leaf) * slotsPerNode
+	cnt := int(t.counts[leaf])
+	for i := 0; i < cnt; i++ {
+		if t.ents[base+i] == e {
+			t.ents[base+i] = t.ents[base+cnt-1]
+			t.counts[leaf]--
 			break
 		}
 	}
+	if t.trackIDs {
+		for n := leaf; n != NilNode; n = t.parent[n] {
+			t.aggSub(n, e.ID)
+		}
+	}
+	// Reconstruct the root..leaf path from the parent links.
+	path := t.pathBuf[:0]
+	for n := leaf; n != NilNode; n = t.parent[n] {
+		path = append(path, n)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	t.pathBuf = path
 	t.condense(path)
 	return true
 }
 
-// findLeaf locates the leaf containing e, returning the leaf and the
-// root..leaf path.
-func findLeaf(n *Node, path []*Node, e Entry) (*Node, []*Node) {
-	path = append(path, n)
-	if n.leaf {
-		for _, le := range n.entries {
+// findLeaf locates the leaf containing e, or NilNode.
+func (t *Tree) findLeaf(n NodeID, e Entry) NodeID {
+	if t.leaf[n] {
+		for _, le := range t.Entries(n) {
 			if le == e {
-				return n, path
+				return n
 			}
 		}
-		return nil, nil
+		return NilNode
 	}
-	for _, c := range n.children {
-		if c.rect.Contains(e.Pt) {
-			if leaf, p := findLeaf(c, path, e); leaf != nil {
-				return leaf, p
+	for _, c := range t.Children(n) {
+		if t.rects[c].Contains(e.Pt) {
+			if l := t.findLeaf(c, e); l != NilNode {
+				return l
 			}
 		}
 	}
-	return nil, nil
+	return NilNode
 }
 
 // condense removes underfull nodes along the path and reinserts orphans.
-func (t *Tree) condense(path []*Node) {
-	var orphanEntries []Entry
-	var orphanNodes []*Node
+func (t *Tree) condense(path []NodeID) {
+	var orphans []Entry
 	for i := len(path) - 1; i >= 1; i-- {
-		n, parent := path[i], path[i-1]
-		under := false
-		if n.leaf {
-			under = len(n.entries) < minEntries
-		} else {
-			under = len(n.children) < minEntries
-		}
-		if under {
-			removeChild(parent, n)
-			if n.leaf {
-				orphanEntries = append(orphanEntries, n.entries...)
-			} else {
-				orphanNodes = append(orphanNodes, n.children...)
+		n, par := path[i], path[i-1]
+		if int(t.counts[n]) < minEntries {
+			t.removeChild(par, n)
+			if t.trackIDs {
+				for a := par; a != NilNode; a = t.parent[a] {
+					t.aggSubNode(a, n)
+				}
 			}
+			t.collectSubtree(n, &orphans)
 		} else {
-			recomputeRect(n)
+			t.recomputeRect(n)
 		}
 	}
-	recomputeRect(t.root)
-	// Shrink the root if it has a single child.
-	for !t.root.leaf && len(t.root.children) == 1 {
-		t.root = t.root.children[0]
+	t.recomputeRect(t.root)
+	// Shrink the root while it has a single child.
+	for !t.leaf[t.root] && t.counts[t.root] == 1 {
+		old := t.root
+		t.root = t.kids[int(old)*slotsPerNode]
+		t.parent[t.root] = NilNode
+		t.freeNode(old)
 	}
-	if !t.root.leaf && len(t.root.children) == 0 {
-		t.root = &Node{leaf: true, rect: geo.EmptyRect()}
+	if !t.leaf[t.root] && t.counts[t.root] == 0 {
+		t.leaf[t.root] = true
+		t.rects[t.root] = geo.EmptyRect()
 	}
-	// Reinsert orphaned subtrees entry by entry. Subtree reinsertion at the
+	// Reinsert orphaned entries one by one. Subtree reinsertion at the
 	// right level is an optimisation; entry reinsertion is simpler and the
 	// delete path is not performance critical for the RkNNT workloads.
-	for len(orphanNodes) > 0 {
-		n := orphanNodes[len(orphanNodes)-1]
-		orphanNodes = orphanNodes[:len(orphanNodes)-1]
-		if n.leaf {
-			orphanEntries = append(orphanEntries, n.entries...)
-		} else {
-			orphanNodes = append(orphanNodes, n.children...)
-		}
-	}
-	for _, e := range orphanEntries {
+	for _, e := range orphans {
 		t.size-- // Insert will re-count it
 		t.Insert(e)
 	}
 }
 
-func removeChild(parent *Node, child *Node) {
-	for i, c := range parent.children {
-		if c == child {
-			parent.children = append(parent.children[:i], parent.children[i+1:]...)
+// collectSubtree appends every entry beneath n to out and frees every
+// node of the subtree, n included.
+func (t *Tree) collectSubtree(n NodeID, out *[]Entry) {
+	if t.leaf[n] {
+		*out = append(*out, t.Entries(n)...)
+	} else {
+		for _, c := range t.Children(n) {
+			t.collectSubtree(c, out)
+		}
+	}
+	t.freeNode(n)
+}
+
+func (t *Tree) removeChild(par, child NodeID) {
+	base := int(par) * slotsPerNode
+	cnt := int(t.counts[par])
+	for i := 0; i < cnt; i++ {
+		if t.kids[base+i] == child {
+			t.kids[base+i] = t.kids[base+cnt-1]
+			t.counts[par]--
 			return
 		}
 	}
@@ -265,13 +408,13 @@ func removeChild(parent *Node, child *Node) {
 // Search calls fn for every entry whose point lies inside rect. Returning
 // false from fn stops the search.
 func (t *Tree) Search(rect geo.Rect, fn func(Entry) bool) {
-	var walk func(n *Node) bool
-	walk = func(n *Node) bool {
-		if !n.rect.Intersects(rect) && !(n == t.root && t.size == 0) {
-			return true
-		}
-		if n.leaf {
-			for _, e := range n.entries {
+	if t.size == 0 {
+		return
+	}
+	var walk func(n NodeID) bool
+	walk = func(n NodeID) bool {
+		if t.leaf[n] {
+			for _, e := range t.Entries(n) {
 				if rect.Contains(e.Pt) {
 					if !fn(e) {
 						return false
@@ -280,8 +423,8 @@ func (t *Tree) Search(rect geo.Rect, fn func(Entry) bool) {
 			}
 			return true
 		}
-		for _, c := range n.children {
-			if c.rect.Intersects(rect) {
+		for _, c := range t.Children(n) {
+			if t.rects[c].Intersects(rect) {
 				if !walk(c) {
 					return false
 				}
@@ -289,19 +432,21 @@ func (t *Tree) Search(rect geo.Rect, fn func(Entry) bool) {
 		}
 		return true
 	}
-	walk(t.root)
+	if t.rects[t.root].Intersects(rect) {
+		walk(t.root)
+	}
 }
 
 // All returns every entry in the tree in unspecified order.
 func (t *Tree) All() []Entry {
 	out := make([]Entry, 0, t.size)
-	var walk func(n *Node)
-	walk = func(n *Node) {
-		if n.leaf {
-			out = append(out, n.entries...)
+	var walk func(n NodeID)
+	walk = func(n NodeID) {
+		if t.leaf[n] {
+			out = append(out, t.Entries(n)...)
 			return
 		}
-		for _, c := range n.children {
+		for _, c := range t.Children(n) {
 			walk(c)
 		}
 	}
@@ -315,15 +460,23 @@ func (t *Tree) All() []Entry {
 // final tile of a level may be small).
 func (t *Tree) checkInvariants(strictFill bool) error {
 	count := 0
-	var walk func(n *Node, depth int, isRoot bool) (int, error)
-	walk = func(n *Node, depth int, isRoot bool) (int, error) {
-		if n.leaf {
-			if strictFill && !isRoot && (len(n.entries) < minEntries || len(n.entries) > maxEntries) {
-				return 0, fmt.Errorf("leaf fill %d out of [%d,%d]", len(n.entries), minEntries, maxEntries)
+	var walk func(n NodeID, depth int, isRoot bool) (int, error)
+	walk = func(n NodeID, depth int, isRoot bool) (int, error) {
+		if !isRoot {
+			if t.parent[n] == NilNode {
+				return 0, fmt.Errorf("node %d has no parent link", n)
 			}
-			for _, e := range n.entries {
-				if !n.rect.Contains(e.Pt) {
-					return 0, fmt.Errorf("entry %v outside leaf rect %v", e.Pt, n.rect)
+		} else if t.parent[n] != NilNode {
+			return 0, fmt.Errorf("root %d has parent %d", n, t.parent[n])
+		}
+		if t.leaf[n] {
+			cnt := int(t.counts[n])
+			if strictFill && !isRoot && (cnt < minEntries || cnt > maxEntries) {
+				return 0, fmt.Errorf("leaf fill %d out of [%d,%d]", cnt, minEntries, maxEntries)
+			}
+			for _, e := range t.Entries(n) {
+				if !t.rects[n].Contains(e.Pt) {
+					return 0, fmt.Errorf("entry %v outside leaf rect %v", e.Pt, t.rects[n])
 				}
 				count++
 			}
@@ -333,13 +486,17 @@ func (t *Tree) checkInvariants(strictFill bool) error {
 		if isRoot {
 			lo = 2
 		}
-		if strictFill && (len(n.children) < lo || len(n.children) > maxEntries) {
-			return 0, fmt.Errorf("internal fill %d out of [%d,%d]", len(n.children), lo, maxEntries)
+		cnt := int(t.counts[n])
+		if strictFill && (cnt < lo || cnt > maxEntries) {
+			return 0, fmt.Errorf("internal fill %d out of [%d,%d]", cnt, lo, maxEntries)
 		}
 		want := -1
-		for _, c := range n.children {
-			if !n.rect.ContainsRect(c.rect) {
-				return 0, fmt.Errorf("child rect %v outside parent %v", c.rect, n.rect)
+		for _, c := range t.Children(n) {
+			if t.parent[c] != n {
+				return 0, fmt.Errorf("child %d of %d has parent %d", c, n, t.parent[c])
+			}
+			if !t.rects[n].ContainsRect(t.rects[c]) {
+				return 0, fmt.Errorf("child rect %v outside parent %v", t.rects[c], t.rects[n])
 			}
 			d, err := walk(c, depth+1, false)
 			if err != nil {
@@ -358,6 +515,11 @@ func (t *Tree) checkInvariants(strictFill bool) error {
 	}
 	if count != t.size {
 		return fmt.Errorf("size %d but %d entries found", t.size, count)
+	}
+	if t.trackIDs {
+		if err := t.checkAgg(t.root); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -383,20 +383,20 @@ func TestMBRTightness(t *testing.T) {
 	for _, e := range randEntries(rng, 1000) {
 		tr.Insert(e)
 	}
-	var walk func(n *Node) geo.Rect
-	walk = func(n *Node) geo.Rect {
+	var walk func(n NodeID) geo.Rect
+	walk = func(n NodeID) geo.Rect {
 		want := geo.EmptyRect()
-		if n.IsLeaf() {
-			for _, e := range n.Entries() {
+		if tr.IsLeaf(n) {
+			for _, e := range tr.Entries(n) {
 				want = want.ExpandPoint(e.Pt)
 			}
 		} else {
-			for _, c := range n.Children() {
+			for _, c := range tr.Children(n) {
 				want = want.Union(walk(c))
 			}
 		}
-		if n.Rect() != want {
-			t.Fatalf("node rect %v, tight MBR %v", n.Rect(), want)
+		if tr.Rect(n) != want {
+			t.Fatalf("node rect %v, tight MBR %v", tr.Rect(n), want)
 		}
 		return want
 	}

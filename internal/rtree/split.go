@@ -2,33 +2,52 @@ package rtree
 
 import "repro/internal/geo"
 
-// splitNode splits an overflowing node into two nodes using Guttman's
-// quadratic split. The input node must not be reused afterwards.
-func splitNode(n *Node) (*Node, *Node) {
-	if n.leaf {
-		ga, gb := quadraticSplit(len(n.entries),
-			func(i int) geo.Rect { return geo.RectOf(n.entries[i].Pt) })
-		a := &Node{leaf: true, entries: pick(n.entries, ga)}
-		b := &Node{leaf: true, entries: pick(n.entries, gb)}
-		recomputeRect(a)
-		recomputeRect(b)
-		return a, b
+// splitNode splits an overflowing node in place using Guttman's quadratic
+// split: group A is written back into n, group B into a freshly allocated
+// sibling, which is returned. The caller attaches the sibling to n's
+// parent (or grows a new root). Ancestor aggregates are unaffected — the
+// multiset below the parent is unchanged — so only the two halves are
+// rebuilt.
+func (t *Tree) splitNode(n NodeID) NodeID {
+	sib := t.alloc(t.leaf[n])
+	base := int(n) * slotsPerNode
+	cnt := int(t.counts[n])
+	if t.leaf[n] {
+		scratch := t.splitEnts[:cnt]
+		copy(scratch, t.ents[base:base+cnt])
+		ga, gb := quadraticSplit(cnt, func(i int) geo.Rect { return geo.RectOf(scratch[i].Pt) })
+		for i, idx := range ga {
+			t.ents[base+i] = scratch[idx]
+		}
+		t.counts[n] = int32(len(ga))
+		sbase := int(sib) * slotsPerNode
+		for i, idx := range gb {
+			t.ents[sbase+i] = scratch[idx]
+		}
+		t.counts[sib] = int32(len(gb))
+	} else {
+		scratch := t.splitKids[:cnt]
+		copy(scratch, t.kids[base:base+cnt])
+		ga, gb := quadraticSplit(cnt, func(i int) geo.Rect { return t.rects[scratch[i]] })
+		for i, idx := range ga {
+			t.kids[base+i] = scratch[idx]
+		}
+		t.counts[n] = int32(len(ga))
+		sbase := int(sib) * slotsPerNode
+		for i, idx := range gb {
+			c := scratch[idx]
+			t.kids[sbase+i] = c
+			t.parent[c] = sib
+		}
+		t.counts[sib] = int32(len(gb))
 	}
-	ga, gb := quadraticSplit(len(n.children),
-		func(i int) geo.Rect { return n.children[i].rect })
-	a := &Node{children: pick(n.children, ga)}
-	b := &Node{children: pick(n.children, gb)}
-	recomputeRect(a)
-	recomputeRect(b)
-	return a, b
-}
-
-func pick[T any](items []T, idx []int) []T {
-	out := make([]T, 0, len(idx))
-	for _, i := range idx {
-		out = append(out, items[i])
+	t.recomputeRect(n)
+	t.recomputeRect(sib)
+	if t.trackIDs {
+		t.rebuildAgg(n)
+		t.rebuildAgg(sib)
 	}
-	return out
+	return sib
 }
 
 // quadraticSplit partitions indices 0..n-1 into two groups using Guttman's

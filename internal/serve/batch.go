@@ -78,35 +78,75 @@ func (e *Engine) drainClosed() {
 
 // applyBatch applies a coalesced batch of mutations in one write-lock
 // acquisition, bumps the epoch, purges the query cache and broadcasts
-// the standing-query deltas. The purge and broadcast happen before the
-// lock is released: broadcasting outside it would let a racing route
-// commit deliver its deltas first, and subscribers must see deltas in
-// commit order (an out-of-order add/remove pair would corrupt their
-// incremental result sets with no resync to save them).
+// the standing-query deltas. Consecutive runs of same-kind ops are
+// handed to the monitor as one sub-batch, so the index can apply their
+// per-shard tree mutations in parallel goroutines while the semantics of
+// the original op order are preserved exactly (a remove following an add
+// of the same ID still observes it). The purge and broadcast happen
+// before the lock is released: broadcasting outside it would let a
+// racing route commit deliver its deltas first, and subscribers must see
+// deltas in commit order (an out-of-order add/remove pair would corrupt
+// their incremental result sets with no resync to save them).
 func (e *Engine) applyBatch(batch []writeOp) {
 	results := make([]opResult, len(batch))
 	var events []monitor.Event
+	// Net cache-repair delta, built in op order so an add followed by a
+	// remove of the same ID within one coalesced batch nets out to a
+	// removal — repairing "removals then adds" from flat lists would
+	// resurrect such a transition into cached results.
+	delta := newBatchDelta()
 
 	e.mu.Lock()
-	for i, op := range batch {
-		switch op.kind {
+	for i := 0; i < len(batch); {
+		j := i
+		for j < len(batch) && batch[j].kind == batch[i].kind {
+			j++
+		}
+		run := batch[i:j]
+		switch batch[i].kind {
 		case opAddTransition:
-			evs, err := e.mon.Add(op.t)
-			results[i] = opResult{err: err}
+			ts := make([]model.Transition, len(run))
+			for k := range run {
+				ts[k] = run[k].t
+			}
+			evs, errs := e.mon.AddBatch(ts)
+			for k := range run {
+				results[i+k] = opResult{err: errs[k]}
+				if errs[k] == nil {
+					delta.add(ts[k])
+				}
+			}
 			events = append(events, evs...)
 		case opRemoveTransition:
-			evs, existed := e.mon.Remove(op.id)
-			results[i] = opResult{existed: existed}
+			ids := make([]model.TransitionID, len(run))
+			for k := range run {
+				ids[k] = run[k].id
+			}
+			evs, existed := e.mon.RemoveBatch(ids)
+			for k := range run {
+				results[i+k] = opResult{existed: existed[k]}
+				if existed[k] {
+					delta.remove(ids[k])
+				}
+			}
 			events = append(events, evs...)
 		case opExpire:
-			before := e.idx.NumTransitions()
-			evs := e.mon.ExpireBefore(op.cutoff)
-			results[i] = opResult{n: before - e.idx.NumTransitions()}
-			events = append(events, evs...)
+			for k, op := range run {
+				// Resolve the victims here (not inside mon.ExpireBefore)
+				// so their IDs feed the cache repair below.
+				victims := e.idx.DrainTimedBefore(op.cutoff)
+				evs, _ := e.mon.RemoveBatch(victims)
+				results[i+k] = opResult{n: len(victims)}
+				events = append(events, evs...)
+				for _, id := range victims {
+					delta.remove(id)
+				}
+			}
 		}
+		i = j
 	}
-	e.epoch.Add(1)
-	e.cache.Purge()
+	newEpoch := e.epoch.Add(1)
+	e.repairCacheLocked(newEpoch, delta)
 	e.broadcast(events)
 	e.mu.Unlock()
 

@@ -64,6 +64,26 @@ func (c *lruCache) Put(key string, val any) {
 	}
 }
 
+// RepairAll calls fn on every cached value, replacing the value with
+// fn's non-nil return and evicting the entry when fn returns nil. fn must
+// not touch the cache. Values are replaced, never mutated, so readers
+// holding a previously returned value are unaffected.
+func (c *lruCache) RepairAll(fn func(any) any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*lruEntry)
+		if v := fn(ent.val); v != nil {
+			ent.val = v
+		} else {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+		}
+		el = next
+	}
+}
+
 // Purge drops every entry. Hit/miss counters survive.
 func (c *lruCache) Purge() {
 	c.mu.Lock()

@@ -10,13 +10,16 @@
 //     paper's algorithms need no internal locking.
 //   - Transition writes (add / remove / expire) are queued and
 //     coalesced: whatever has accumulated while the previous batch was
-//     committing is applied under a single lock acquisition, one epoch
-//     bump and one cache purge — the batching the ROADMAP's serving
-//     scenario calls for.
+//     committing is applied under a single lock acquisition and one
+//     epoch bump — the batching the ROADMAP's serving scenario calls
+//     for. Runs of same-kind ops hand their per-shard tree mutations to
+//     the index as one parallel sub-batch.
 //   - An epoch counter versions the index. Each committed batch bumps
-//     it; the LRU query-result cache is purged on every bump, and
-//     in-flight deduplication keys include the epoch so a query never
-//     adopts a result computed over an older snapshot.
+//     it and repairs the LRU query-result cache in place (see
+//     repair.go) instead of purging; route changes, which shift every
+//     rank, still purge. In-flight deduplication keys include the
+//     epoch so a query never adopts a result computed over an older
+//     snapshot.
 //   - Identical concurrent queries (same geometry, k, method,
 //     semantics, time window) compute once and share the result.
 //   - Standing queries are maintained incrementally by the existing
@@ -94,13 +97,14 @@ type Engine struct {
 	closeMu  sync.RWMutex
 	closed   bool
 
-	batches     atomic.Uint64
-	batchedOps  atomic.Uint64
-	dedupHits   atomic.Uint64
-	dropped     atomic.Uint64
-	queriesRun  atomic.Uint64
-	statMu      sync.Mutex
-	queryTotals core.Stats // cumulative pruning counters of executed queries
+	batches      atomic.Uint64
+	batchedOps   atomic.Uint64
+	cacheRepairs atomic.Uint64
+	dedupHits    atomic.Uint64
+	dropped      atomic.Uint64
+	queriesRun   atomic.Uint64
+	statMu       sync.Mutex
+	queryTotals  core.Stats // cumulative pruning counters of executed queries
 
 	subMu   sync.Mutex
 	subs    map[int]*subscriber
@@ -165,17 +169,37 @@ type QueryResult struct {
 	Epoch       uint64
 }
 
+// cachedQuery is a cache entry: the result plus the query it answers, so
+// committed write batches can repair it in place (see repairCacheLocked)
+// instead of discarding it.
+type cachedQuery struct {
+	res   *QueryResult
+	query []geo.Point // private copy
+	opts  core.Options
+}
+
 // RkNNT answers an RkNNT query against the current snapshot, consulting
 // the result cache and deduplicating against identical in-flight
-// queries.
+// queries. Queries run with shard- and candidate-parallelism enabled
+// (a no-op on single-processor hosts); the flag does not enter the cache
+// key because it cannot change the result.
 func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, error) {
+	opts.Parallel = true
 	epoch := e.epoch.Load()
-	key := queryKey(epoch, query, opts)
+	key := queryKey(query, opts)
 	if v, ok := e.cache.Get(key); ok {
-		res := v.(*QueryResult)
-		return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Cached: true, Epoch: res.Epoch}, nil
+		res := v.(*cachedQuery).res
+		// An entry left behind by a stale in-flight Put misses here and
+		// is overwritten by the recompute (and evicted by the next
+		// repair walk, whichever comes first).
+		if res.Epoch == epoch {
+			return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Cached: true, Epoch: res.Epoch}, nil
+		}
 	}
-	v, err, shared := e.flight.Do(key, func() (any, error) {
+	// The flight key carries the epoch so a query never adopts a result
+	// computed over an older snapshot.
+	flightKey := string(binary.LittleEndian.AppendUint64(nil, epoch)) + key
+	v, err, shared := e.flight.Do(flightKey, func() (any, error) {
 		ids, stats, err := func() ([]model.TransitionID, *core.Stats, error) {
 			// deferred so a panicking query cannot leave the engine
 			// read-locked (which would wedge the write path for good).
@@ -197,7 +221,11 @@ func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, erro
 		e.queryTotals.Results += stats.Results
 		e.statMu.Unlock()
 		res := &QueryResult{Transitions: ids, Stats: *stats, Epoch: epoch}
-		e.cache.Put(key, res)
+		e.cache.Put(key, &cachedQuery{
+			res:   res,
+			query: append([]geo.Point(nil), query...),
+			opts:  opts,
+		})
 		return res, nil
 	})
 	if err != nil {
@@ -378,9 +406,15 @@ type Stats struct {
 	Routes      int    `json:"routes"`
 	Transitions int    `json:"transitions"`
 
+	// Shards is the TR-tree shard count; ShardSizes the number of
+	// indexed transition endpoints per shard (occupancy).
+	Shards     int   `json:"shards"`
+	ShardSizes []int `json:"shard_sizes"`
+
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
+	CacheRepairs uint64 `json:"cache_repairs"` // entries repaired forward by write batches
 	InflightDups uint64 `json:"inflight_dups"`
 
 	Batches       uint64 `json:"batches"`
@@ -405,13 +439,20 @@ func (e *Engine) EngineStats() Stats {
 	e.statMu.Lock()
 	q := e.queryTotals
 	e.statMu.Unlock()
+	e.mu.RLock()
+	shards := e.idx.NumTransitionShards()
+	shardSizes := e.idx.TransitionShardSizes()
+	e.mu.RUnlock()
 	return Stats{
 		Epoch:         e.epoch.Load(),
 		Routes:        e.NumRoutes(),
 		Transitions:   e.NumTransitions(),
+		Shards:        shards,
+		ShardSizes:    shardSizes,
 		CacheEntries:  e.cache.Len(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
+		CacheRepairs:  e.cacheRepairs.Load(),
 		InflightDups:  e.dedupHits.Load(),
 		Batches:       e.batches.Load(),
 		BatchedOps:    e.batchedOps.Load(),
@@ -428,11 +469,13 @@ func (e *Engine) EngineStats() Stats {
 	}
 }
 
-// queryKey builds the cache / dedup key: epoch, options and the exact
-// query geometry (float bits, so distinct queries never collide).
-func queryKey(epoch uint64, query []geo.Point, opts core.Options) string {
-	buf := make([]byte, 0, 8+8+8*2+16*len(query)+8)
-	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+// queryKey builds the cache key: options and the exact query geometry
+// (float bits, so distinct queries never collide). The epoch is NOT part
+// of the key — entries carry their epoch and are repaired forward by
+// committed write batches — but it is prepended for the in-flight dedup
+// key. Parallel is excluded: it cannot change the result.
+func queryKey(query []geo.Point, opts core.Options) string {
+	buf := make([]byte, 0, 8+8*2+16*len(query)+8)
 	var flags uint64
 	flags |= uint64(opts.Method) << 0
 	flags |= uint64(opts.Semantics) << 8

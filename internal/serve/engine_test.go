@@ -129,7 +129,9 @@ func TestCacheAndInvalidation(t *testing.T) {
 		t.Error("repeat query not served from cache")
 	}
 
-	// A committed write bumps the epoch and invalidates the cache.
+	// A committed write bumps the epoch and repairs the cached entry in
+	// place: the next identical query is still a cache hit, but serves
+	// the post-write result.
 	before := e.Epoch()
 	if err := e.AddTransition(model.Transition{ID: 8, O: geo.Pt(2, 0), D: geo.Pt(8, 0)}); err != nil {
 		t.Fatal(err)
@@ -141,11 +143,32 @@ func TestCacheAndInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r3.Cached {
-		t.Error("query after write served stale cache entry")
+	if !r3.Cached {
+		t.Error("query after write not served from the repaired cache entry")
+	}
+	if r3.Epoch == before {
+		t.Error("repaired entry kept the pre-write epoch")
 	}
 	if len(r3.Transitions) != 2 {
 		t.Errorf("result not refreshed after write: %v", r3.Transitions)
+	}
+	if got := e.EngineStats().CacheRepairs; got == 0 {
+		t.Error("CacheRepairs counter did not advance")
+	}
+
+	// Removing the transition repairs it back out.
+	if _, err := e.RemoveTransition(8); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := e.RkNNT(queryY0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r4.Cached {
+		t.Error("query after removal not served from the repaired cache entry")
+	}
+	if len(r4.Transitions) != 1 || r4.Transitions[0] != 7 {
+		t.Errorf("result not repaired after removal: %v", r4.Transitions)
 	}
 }
 

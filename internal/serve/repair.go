@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Delta repair of cached query results.
+//
+// A committed transition batch used to purge the whole result cache:
+// every hot query then recomputed from scratch at full filter-refine
+// cost. But transition writes cannot shift the rank of any OTHER
+// transition — results for different transitions are independent — so a
+// cached RkNNT answer can instead be repaired in place: every removed ID
+// is dropped from the result list, and every added transition is rank-
+// checked against the cached query (two TakesQueryAsKNN calls, the same
+// exact primitive the standing-query monitor uses) and merged in if it
+// qualifies. Repair costs microseconds per entry per write; a recompute
+// costs milliseconds. Route changes still purge — they shift every rank.
+
+// repairAddBudget caps adds × cached-entries per batch; beyond it a
+// purge-and-recompute is cheaper than rank-checking every pair.
+const repairAddBudget = 32768
+
+// batchDelta is the net effect of one coalesced write batch on the
+// transition set, folded in op order: whatever a transition's final
+// disposition is within the batch wins (an add followed by a remove is a
+// removal; a remove followed by a re-add is an add with the new data).
+type batchDelta struct {
+	added   map[model.TransitionID]model.Transition
+	removed map[model.TransitionID]bool
+}
+
+func newBatchDelta() *batchDelta {
+	return &batchDelta{}
+}
+
+func (d *batchDelta) add(t model.Transition) {
+	if d.added == nil {
+		d.added = make(map[model.TransitionID]model.Transition)
+	}
+	d.added[t.ID] = t
+	delete(d.removed, t.ID)
+}
+
+func (d *batchDelta) remove(id model.TransitionID) {
+	if d.removed == nil {
+		d.removed = make(map[model.TransitionID]bool)
+	}
+	d.removed[id] = true
+	delete(d.added, id)
+}
+
+// repairCacheLocked walks the result cache after a transition batch
+// commits, bringing every up-to-date entry forward to newEpoch. Entries
+// whose epoch does not match the batch's predecessor are stragglers from
+// an in-flight Put that raced an earlier commit; they are evicted.
+// Called with e.mu held (the batch's write critical section), so the
+// rank checks observe exactly the post-batch index.
+func (e *Engine) repairCacheLocked(newEpoch uint64, delta *batchDelta) {
+	if len(delta.added)*e.cache.Len() > repairAddBudget {
+		e.cache.Purge()
+		return
+	}
+	oldEpoch := newEpoch - 1
+	removedSet := delta.removed
+	added := make([]model.Transition, 0, len(delta.added))
+	for id, t := range delta.added {
+		// Belt and braces: only transitions still live in the index may
+		// enter cached results (the rank check itself is purely
+		// geometric and would not notice a dead one).
+		if e.idx.Transition(id) != nil {
+			added = append(added, t)
+		}
+	}
+	repaired := 0
+	e.cache.RepairAll(func(v any) any {
+		ent := v.(*cachedQuery)
+		if ent.res.Epoch != oldEpoch {
+			return nil // stale straggler: evict
+		}
+		ids := ent.res.Transitions
+		changed := false
+		if removedSet != nil {
+			kept := ids[:0:0]
+			for _, id := range ids {
+				if removedSet[id] {
+					changed = true
+					continue
+				}
+				kept = append(kept, id)
+			}
+			if changed {
+				ids = kept
+			}
+		}
+		for i := range added {
+			t := &added[i]
+			if !inWindow(ent.opts, t) {
+				continue
+			}
+			if !e.transitionMatches(ent, t) {
+				continue
+			}
+			i := sort.Search(len(ids), func(i int) bool { return ids[i] >= t.ID })
+			if i < len(ids) && ids[i] == t.ID {
+				continue
+			}
+			if !changed {
+				ids = append([]model.TransitionID(nil), ids...)
+				changed = true
+			}
+			ids = append(ids, 0)
+			copy(ids[i+1:], ids[i:])
+			ids[i] = t.ID
+		}
+		repaired++
+		stats := ent.res.Stats
+		stats.Results = len(ids)
+		return &cachedQuery{
+			res:   &QueryResult{Transitions: ids, Stats: stats, Epoch: newEpoch},
+			query: ent.query,
+			opts:  ent.opts,
+		}
+	})
+	e.cacheRepairs.Add(uint64(repaired))
+}
+
+// inWindow replicates core's temporal-window filter for one transition.
+func inWindow(opts core.Options, t *model.Transition) bool {
+	if opts.TimeFrom == 0 && opts.TimeTo == 0 {
+		return true
+	}
+	return t.Time >= opts.TimeFrom && t.Time <= opts.TimeTo
+}
+
+// transitionMatches reports whether the transition belongs to the cached
+// query's result set, by exact rank checks of its endpoints (Definition 5
+// semantics: ∃ needs one qualifying endpoint, ∀ both).
+func (e *Engine) transitionMatches(ent *cachedQuery, t *model.Transition) bool {
+	o := core.TakesQueryAsKNN(e.idx, ent.query, t.O, ent.opts.K)
+	if ent.opts.Semantics == core.ForAll {
+		return o && core.TakesQueryAsKNN(e.idx, ent.query, t.D, ent.opts.K)
+	}
+	return o || core.TakesQueryAsKNN(e.idx, ent.query, t.D, ent.opts.K)
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// TestRepairedCacheMatchesFresh is the differential property behind
+// delta repair: under sustained churn (adds, removes, sliding-window
+// expiry), a query served from the repaired cache must be identical to a
+// fresh computation over the current index — for both semantics, with
+// and without a time window.
+func TestRepairedCacheMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ds := &model.Dataset{}
+	// Shared stop locations: routes that share a stop ID must share its
+	// point, or crossover credit (Definition 7) would be unsound.
+	stopPts := make([]geo.Point, 30)
+	for i := range stopPts {
+		stopPts[i] = geo.Pt(rng.Float64()*40, rng.Float64()*40)
+	}
+	for r := 0; r < 20; r++ {
+		n := 2 + rng.Intn(4)
+		route := model.Route{ID: int32(r + 1)}
+		for i := 0; i < n; i++ {
+			s := int32(rng.Intn(30))
+			route.Stops = append(route.Stops, s)
+			route.Pts = append(route.Pts, stopPts[s])
+		}
+		ds.Routes = append(ds.Routes, route)
+	}
+	x, err := index.BuildOpts(ds, index.Options{TRShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(x, Options{})
+	defer e.Close()
+
+	queries := make([][]geo.Point, 6)
+	for i := range queries {
+		queries[i] = []geo.Point{
+			geo.Pt(rng.Float64()*40, rng.Float64()*40),
+			geo.Pt(rng.Float64()*40, rng.Float64()*40),
+		}
+	}
+	optsSet := []core.Options{
+		{K: 3},
+		{K: 5, Semantics: core.ForAll},
+		{K: 4, TimeFrom: 100, TimeTo: 10_000},
+	}
+
+	live := map[model.TransitionID]bool{}
+	nextID := model.TransitionID(1)
+	now := int64(100)
+	for step := 0; step < 120; step++ {
+		// Mutate: mostly adds (some timed), occasional removes/expiries.
+		switch op := rng.Intn(10); {
+		case op < 6 || len(live) == 0:
+			tr := model.Transition{
+				ID: nextID,
+				O:  geo.Pt(rng.Float64()*40, rng.Float64()*40),
+				D:  geo.Pt(rng.Float64()*40, rng.Float64()*40),
+			}
+			if rng.Intn(2) == 0 {
+				tr.Time = now
+				now += 10
+			}
+			nextID++
+			if err := e.AddTransition(tr); err != nil {
+				t.Fatal(err)
+			}
+			live[tr.ID] = true
+		case op < 8:
+			var victim model.TransitionID
+			k := rng.Intn(len(live))
+			for id := range live {
+				if k == 0 {
+					victim = id
+					break
+				}
+				k--
+			}
+			if _, err := e.RemoveTransition(victim); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, victim)
+		default:
+			cutoff := now - int64(rng.Intn(200))
+			if _, err := e.ExpireTransitionsBefore(cutoff); err != nil {
+				t.Fatal(err)
+			}
+			for id := range live {
+				if tr := e.Transition(id); tr == nil {
+					delete(live, id)
+				}
+			}
+		}
+		// Every query from the (mostly repaired) cache must match a
+		// fresh computation.
+		q := queries[rng.Intn(len(queries))]
+		opts := optsSet[rng.Intn(len(optsSet))]
+		got, err := e.RkNNT(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := func() ([]model.TransitionID, *core.Stats, error) {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return core.RkNNT(e.idx, q, opts)
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Transitions, want) && !(len(got.Transitions) == 0 && len(want) == 0) {
+			t.Fatalf("step %d (cached=%v): repaired %v != fresh %v", step, got.Cached, got.Transitions, want)
+		}
+	}
+	st := e.EngineStats()
+	if st.CacheRepairs == 0 {
+		t.Fatal("churn produced no cache repairs; the repair path was not exercised")
+	}
+}
+
+// TestRepairAddRemoveSameBatch is the regression test for intra-batch
+// resurrection: an add and a remove of the same transition coalesced
+// into ONE write batch must net out to "never existed" — repairing
+// removals-then-adds from flat lists would rank-check the already-dead
+// transition (the check is purely geometric) and serve its ID from
+// cache forever. applyBatch is driven directly so the coalescing is
+// deterministic.
+func TestRepairAddRemoveSameBatch(t *testing.T) {
+	x := twoRoutes(t, model.Transition{ID: 7, O: geo.Pt(1, 1), D: geo.Pt(9, 1)})
+	e := New(x, Options{})
+	defer e.Close()
+	opts := core.Options{K: 1}
+	if _, err := e.RkNNT(queryY0, opts); err != nil { // warm the cache: [7]
+		t.Fatal(err)
+	}
+	mk := func(kind opKind, t model.Transition, id model.TransitionID) writeOp {
+		return writeOp{kind: kind, t: t, id: id, done: make(chan opResult, 1)}
+	}
+	ghost := model.Transition{ID: 8, O: geo.Pt(2, 0), D: geo.Pt(8, 0)}
+	batch := []writeOp{
+		mk(opAddTransition, ghost, 0),
+		mk(opRemoveTransition, model.Transition{}, 8),
+	}
+	e.applyBatch(batch)
+	for _, op := range batch {
+		<-op.done
+	}
+	if e.Transition(8) != nil {
+		t.Fatal("transition 8 still in index")
+	}
+	got, err := e.RkNNT(queryY0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Error("expected repaired cache hit")
+	}
+	if len(got.Transitions) != 1 || got.Transitions[0] != 7 {
+		t.Fatalf("ghost transition resurrected into cache: %v", got.Transitions)
+	}
+	// The mirror case: remove then re-add in one batch keeps it.
+	batch = []writeOp{
+		mk(opRemoveTransition, model.Transition{}, 7),
+		mk(opAddTransition, model.Transition{ID: 7, O: geo.Pt(1, 1), D: geo.Pt(9, 1)}, 0),
+	}
+	e.applyBatch(batch)
+	for _, op := range batch {
+		<-op.done
+	}
+	got, err = e.RkNNT(queryY0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Transitions) != 1 || got.Transitions[0] != 7 {
+		t.Fatalf("remove+re-add in one batch lost the transition: %v", got.Transitions)
+	}
+}
+
+// TestRepairBudgetFallsBackToPurge floods one batch with more adds than
+// the repair budget allows for the cache size and checks correctness is
+// preserved via the purge path.
+func TestRepairBudgetFallsBackToPurge(t *testing.T) {
+	x := twoRoutes(t, model.Transition{ID: 7, O: geo.Pt(1, 1), D: geo.Pt(9, 1)})
+	e := New(x, Options{})
+	defer e.Close()
+	opts := core.Options{K: 1}
+	if _, err := e.RkNNT(queryY0, opts); err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]model.Transition, repairAddBudget+1)
+	for i := range ts {
+		ts[i] = model.Transition{
+			ID: model.TransitionID(1000 + i),
+			O:  geo.Pt(float64(i%10), 50),
+			D:  geo.Pt(float64(i%10), 60),
+		}
+	}
+	for _, err := range e.AddTransitions(ts) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := e.RkNNT(queryY0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := core.RkNNT(x, queryY0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Transitions, want) {
+		t.Fatalf("post-flood result %d ids != fresh %d ids", len(got.Transitions), len(want))
+	}
+}

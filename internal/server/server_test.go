@@ -304,6 +304,21 @@ func TestHealthAndStats(t *testing.T) {
 	if stats.Engine.CacheHits != 1 || stats.Engine.QueriesRun == 0 {
 		t.Errorf("engine counters %+v", stats.Engine)
 	}
+	// The sharded transition index surfaces its shard count and
+	// occupancy through /v1/stats.
+	if stats.Engine.Shards < 1 {
+		t.Errorf("stats report %d shards, want >= 1", stats.Engine.Shards)
+	}
+	if len(stats.Engine.ShardSizes) != stats.Engine.Shards {
+		t.Errorf("shard occupancy %v does not match shard count %d", stats.Engine.ShardSizes, stats.Engine.Shards)
+	}
+	total := 0
+	for _, n := range stats.Engine.ShardSizes {
+		total += n
+	}
+	if total != 2*stats.Engine.Transitions {
+		t.Errorf("shard occupancy sums to %d endpoints, want %d", total, 2*stats.Engine.Transitions)
+	}
 	if stats.UptimeSeconds <= 0 {
 		t.Error("non-positive uptime")
 	}
