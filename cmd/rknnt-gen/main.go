@@ -1,13 +1,18 @@
 // Command rknnt-gen emits a synthetic city dataset, either as CSV files
-// for external tooling or as a single binary snapshot for fast reload.
+// for external tooling, as a single binary dataset snapshot, or as a
+// fully built arena index snapshot for instant rknnt-serve boots.
 //
 // Usage:
 //
 //	rknnt-gen -preset la -scale 8 -out ./data            # CSV files
 //	rknnt-gen -preset nyc -scale 8 -format snapshot -out ./data
+//	rknnt-gen -preset nyc -scale 8 -format arena -out ./data
 //
-// CSV mode writes routes.csv, transitions.csv and edges.csv; snapshot mode
-// writes city.snapshot (see internal/dataio).
+// CSV mode writes routes.csv, transitions.csv and edges.csv; snapshot
+// mode writes city.snapshot (dataset + network, re-indexed on load);
+// arena mode bulk-loads the indexes once and writes city.arena with the
+// R-tree arenas serialized verbatim, which rknnt-serve -index boots from
+// without re-indexing (see internal/dataio and docs/ARCHITECTURE.md).
 package main
 
 import (
@@ -17,17 +22,19 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"repro/internal/dataio"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/index"
 )
 
 func main() {
 	preset := flag.String("preset", "la", "city preset: la, nyc or syn")
 	scale := flag.Int("scale", 8, "divide the paper's cardinalities by this factor")
 	synN := flag.Int("syn", 1000000, "transition count for the syn preset")
-	format := flag.String("format", "csv", "output format: csv or snapshot")
+	format := flag.String("format", "csv", "output format: csv, snapshot or arena")
 	out := flag.String("out", ".", "output directory")
 	flag.Parse()
 
@@ -74,8 +81,25 @@ func main() {
 		}); err != nil {
 			fatal(err)
 		}
+	case "arena":
+		t0 := time.Now()
+		x, err := index.Build(city.Dataset)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("indexes built in %v\n", time.Since(t0).Round(time.Millisecond))
+		if err := writeFile(filepath.Join(*out, "city.arena"), func(f *os.File) error {
+			sw := dataio.NewSectionWriter(f)
+			if err := index.AppendSnapshotSections(sw, x); err != nil {
+				return err
+			}
+			sw.Section(dataio.SecNetwork, dataio.MarshalNetwork(city.Graph, nil))
+			return sw.Close()
+		}); err != nil {
+			fatal(err)
+		}
 	default:
-		fatal(fmt.Errorf("unknown format %q (want csv or snapshot)", *format))
+		fatal(fmt.Errorf("unknown format %q (want csv, snapshot or arena)", *format))
 	}
 	fmt.Printf("wrote %d routes, %d transitions, %d edges to %s (%s)\n",
 		len(city.Dataset.Routes), len(city.Dataset.Transitions), city.Graph.NumEdges(), *out, *format)

@@ -5,10 +5,15 @@
 //
 // Data sources, in precedence order:
 //
-//	rknnt-serve -snapshot data/city.snapshot        # dataio snapshot (routes+transitions+graph)
+//	rknnt-serve -index data/city.arena              # arena index snapshot: warm boot, no bulk load
+//	rknnt-serve -snapshot data/city.snapshot        # dataset snapshot (routes+transitions+graph)
 //	rknnt-serve -csv data/                          # routes.csv + transitions.csv
 //	rknnt-serve -gtfs gtfs/                         # GTFS feed (routes only; transitions arrive via the API)
 //	rknnt-serve -preset nyc -scale 8                # synthetic city (default: la)
+//
+// With -save-index the server writes an arena snapshot once the indexes
+// are ready, so the next start can warm-boot from it; a running server
+// saves one on demand via POST /v1/snapshot.
 //
 // Then:
 //
@@ -41,7 +46,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	snapshot := flag.String("snapshot", "", "load a dataio snapshot (routes, transitions and network)")
+	indexPath := flag.String("index", "", "warm-boot from an arena index snapshot (written by -save-index or POST /v1/snapshot)")
+	snapshot := flag.String("snapshot", "", "load a dataset snapshot (routes, transitions and network)")
 	csvDir := flag.String("csv", "", "load routes.csv and transitions.csv from this directory")
 	gtfsDir := flag.String("gtfs", "", "load a GTFS feed from this directory (routes only)")
 	preset := flag.String("preset", "la", "synthetic city preset: la, nyc or syn")
@@ -49,27 +55,56 @@ func main() {
 	synN := flag.Int("syn", 100000, "transition count for the syn preset")
 	cacheSize := flag.Int("cache", 4096, "query-result LRU capacity")
 	maxBatch := flag.Int("max-batch", 256, "max writes coalesced per batch")
+	saveIndex := flag.String("save-index", "", "write an arena index snapshot here once the indexes are ready")
 	flag.Parse()
 
-	ds, g, vertexOf, err := loadData(*snapshot, *csvDir, *gtfsDir, *preset, *scale, *synN)
-	if err != nil {
-		fatal(err)
+	var (
+		x        *index.Index
+		g        *graph.Graph
+		vertexOf map[model.StopID]graph.VertexID
+		epoch    uint64
+	)
+	if *indexPath != "" {
+		t0 := time.Now()
+		var err error
+		x, g, vertexOf, epoch, err = readIndexSnapshot(*indexPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("arena snapshot loaded in %v (%d routes / %d transitions, epoch %d)\n",
+			time.Since(t0).Round(time.Millisecond), x.NumRoutes(), x.NumTransitions(), epoch)
+	} else {
+		ds, dg, dv, err := loadData(*snapshot, *csvDir, *gtfsDir, *preset, *scale, *synN)
+		if err != nil {
+			fatal(err)
+		}
+		g, vertexOf = dg, dv
+		fmt.Printf("indexing %d routes / %d transitions...\n", len(ds.Routes), len(ds.Transitions))
+		t0 := time.Now()
+		if x, err = index.Build(ds); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("indexes built in %v\n", time.Since(t0).Round(time.Millisecond))
 	}
-	fmt.Printf("indexing %d routes / %d transitions...\n", len(ds.Routes), len(ds.Transitions))
-	t0 := time.Now()
-	x, err := index.Build(ds)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("indexes built in %v\n", time.Since(t0).Round(time.Millisecond))
 
 	engine := serve.New(x, serve.Options{
-		CacheSize: *cacheSize,
-		MaxBatch:  *maxBatch,
-		Network:   g,
-		VertexOf:  vertexOf,
+		CacheSize:    *cacheSize,
+		MaxBatch:     *maxBatch,
+		Network:      g,
+		VertexOf:     vertexOf,
+		InitialEpoch: epoch,
 	})
 	defer engine.Close()
+
+	if *saveIndex != "" {
+		t0 := time.Now()
+		n, err := engine.WriteSnapshotFile(*saveIndex)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("arena snapshot saved to %s (%d bytes in %v)\n",
+			*saveIndex, n, time.Since(t0).Round(time.Millisecond))
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -99,6 +134,16 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rknnt-serve:", err)
 	os.Exit(1)
+}
+
+// readIndexSnapshot warm-boots from an arena snapshot file.
+func readIndexSnapshot(path string) (*index.Index, *graph.Graph, map[model.StopID]graph.VertexID, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	defer f.Close()
+	return serve.ReadSnapshot(f)
 }
 
 func enabled(b bool) string {

@@ -1,0 +1,59 @@
+package rknnt
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks is the docs gate: every relative markdown link in the
+// repo's documentation (root *.md and docs/) must resolve to an existing
+// file. External links are skipped — the gate must stay hermetic.
+func TestDocLinks(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, m...)
+	}
+	// PAPER.md / PAPERS.md / SNIPPETS.md are retrieval artifacts (paper
+	// text with figure references that were never downloaded), not
+	// maintained documentation.
+	generated := map[string]bool{"PAPER.md": true, "PAPERS.md": true, "SNIPPETS.md": true}
+	kept := files[:0]
+	for _, f := range files {
+		if !generated[f] {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+	if len(files) < 4 {
+		t.Fatalf("found only %d markdown files; docs gate is miswired", len(files))
+	}
+	// [text](target) — target up to the first ')'; images share the form.
+	linkRE := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure fragment link within the same file
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", file, m[1], err)
+			}
+		}
+	}
+}

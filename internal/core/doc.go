@@ -1,0 +1,37 @@
+// Package core implements the RkNNT query of the paper "Reverse k Nearest
+// Neighbor Search over Trajectories": the filter-refinement framework
+// (Section 4), the Voronoi-based filtering optimisation (Section 5.1) and
+// the divide-and-conquer decomposition (Section 5.2), together with a
+// brute-force baseline used for ground truth.
+//
+// # Semantics
+//
+// A transition endpoint t "takes the query route Q as a kNN" iff fewer
+// than k routes are strictly closer to t than Q:
+//
+//	rank(t, Q) = |{R ∈ DR : dist(t, R) < dist(t, Q)}| < k
+//
+// where dist is the point-route distance of Definition 3. This is the
+// tie-friendly reading of Definition 4 (the paper's inequality has a typo).
+// ∃RkNNT keeps a transition if either endpoint qualifies, ∀RkNNT if both
+// do (Definition 5). All methods, including the brute force, implement
+// exactly this definition; the property tests in this package assert that
+// every method returns identical results.
+//
+// # Determinism
+//
+// Results are returned as sorted transition IDs and depend only on the
+// logical content of the index — not on how it came to hold that content.
+// Two indexes with the same routes and transitions answer every query
+// identically whether they were bulk-loaded, mutated into shape
+// incrementally, or restored from an arena snapshot; with Options.
+// Parallel the shard fan-out and worker-parallel verification change the
+// schedule but never the result. The snapshot and parallel differential
+// tests in this package pin both properties.
+//
+// # Reading the index
+//
+// The hot paths iterate crossover sets and NLists through the zero-copy
+// accessors (CrossoverView, NListEach) and hold no locks; the serving
+// layer guarantees the index is quiescent while queries run.
+package core

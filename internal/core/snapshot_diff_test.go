@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// Differential test for arena snapshot persistence at the query level:
+// an index saved after dynamic churn and loaded back must answer RkNNT
+// (every method, both semantics), kNN and time-windowed queries
+// identically to the index it was saved from. Together with the
+// byte-identity tests in internal/index and internal/rtree, this is the
+// acceptance gate for warm-started servers serving the same answers as
+// CSV bulk-loaded ones.
+
+func snapshotWorkload(t *testing.T, rng *rand.Rand) *index.Index {
+	t.Helper()
+	coord := func() geo.Point { return geo.Pt(rng.Float64()*40, rng.Float64()*40) }
+	ds := &model.Dataset{}
+	nStops := 25
+	stops := make([]geo.Point, nStops)
+	for i := range stops {
+		stops[i] = coord()
+	}
+	for id := 1; id <= 20; id++ {
+		n := 2 + rng.Intn(5)
+		route := model.Route{ID: model.RouteID(id)}
+		for i := 0; i < n; i++ {
+			s := rng.Intn(nStops)
+			route.Stops = append(route.Stops, model.StopID(s))
+			route.Pts = append(route.Pts, stops[s])
+		}
+		ds.Routes = append(ds.Routes, route)
+	}
+	for i := 0; i < 600; i++ {
+		ds.Transitions = append(ds.Transitions, model.Transition{
+			ID: model.TransitionID(i), O: coord(), D: coord(),
+			Time: int64(rng.Intn(500)),
+		})
+	}
+	x, err := index.BuildOpts(ds, index.Options{TRShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic churn so the arenas carry free lists and recycled IDs.
+	for i := 0; i < 200; i++ {
+		x.RemoveTransition(model.TransitionID(rng.Intn(600)))
+	}
+	for i := 0; i < 150; i++ {
+		if err := x.AddTransition(model.Transition{
+			ID: model.TransitionID(700 + i), O: coord(), D: coord(),
+			Time: int64(rng.Intn(500)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x.ExpireTransitionsBefore(60)
+	return x
+}
+
+func TestSnapshotQueryEquivalence(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		built := snapshotWorkload(t, rng)
+
+		var buf bytes.Buffer
+		if err := index.WriteSnapshot(&buf, built); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := index.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for q := 0; q < 25; q++ {
+			query := []geo.Point{
+				geo.Pt(rng.Float64()*40, rng.Float64()*40),
+				geo.Pt(rng.Float64()*40, rng.Float64()*40),
+				geo.Pt(rng.Float64()*40, rng.Float64()*40),
+			}
+			k := 1 + rng.Intn(12)
+			for _, m := range []Method{FilterRefine, Voronoi, DivideConquer, BruteForce} {
+				for _, sem := range []Semantics{Exists, ForAll} {
+					opts := Options{K: k, Method: m, Semantics: sem}
+					if q%3 == 0 {
+						opts.TimeFrom, opts.TimeTo = 100, 400
+					}
+					want, _, err := RkNNT(built, query, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := RkNNT(loaded, query, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(want) != len(got) {
+						t.Fatalf("seed %d method %v sem %v: loaded returned %d transitions, built %d",
+							seed, m, sem, len(got), len(want))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("seed %d method %v sem %v: result[%d] = %d, want %d",
+								seed, m, sem, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			p := geo.Pt(rng.Float64()*40, rng.Float64()*40)
+			wantKNN := KNNRoutes(built, p, k)
+			gotKNN := KNNRoutes(loaded, p, k)
+			if len(wantKNN) != len(gotKNN) {
+				t.Fatalf("seed %d: loaded kNN returned %d routes, want %d", seed, len(gotKNN), len(wantKNN))
+			}
+			for i := range wantKNN {
+				if wantKNN[i] != gotKNN[i] {
+					t.Fatalf("seed %d: loaded kNN[%d] = %d, want %d", seed, i, gotKNN[i], wantKNN[i])
+				}
+			}
+		}
+	}
+}

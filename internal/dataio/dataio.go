@@ -1,17 +1,26 @@
-// Package dataio reads and writes RkNNT datasets. Two formats are
+// Package dataio reads and writes RkNNT datasets. Three formats are
 // supported:
 //
 //   - CSV: the routes.csv / transitions.csv / edges.csv layout emitted by
 //     cmd/rknnt-gen, for interchange with external tooling;
-//   - gob: a single binary snapshot of a whole dataset plus its network,
-//     for fast reload of large generated workloads.
+//   - the arena snapshot container (sections.go): a versioned binary file
+//     of tagged, checksummed, 8-byte-aligned sections. WriteSnapshot
+//     stores a dataset plus its network in it; internal/index and
+//     internal/serve add further sections holding the R-tree arenas
+//     verbatim, so a server can boot with a sequential read instead of a
+//     CSV parse and bulk load. The format is specified normatively in
+//     docs/ARCHITECTURE.md.
+//   - gob: the pre-container snapshot blob. Read-only: ReadSnapshot
+//     still accepts it, WriteSnapshot no longer produces it.
 package dataio
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"repro/internal/geo"
@@ -133,7 +142,8 @@ func ReadTransitionsCSV(r io.Reader) ([]model.Transition, error) {
 	return out, nil
 }
 
-// snapshot is the gob wire format: a flat network plus the dataset.
+// snapshot is the legacy gob wire format: a flat network plus the
+// dataset. Kept for reading pre-container blobs only.
 type snapshot struct {
 	Version     int
 	Routes      []model.Route
@@ -146,35 +156,45 @@ type snapshot struct {
 
 const snapshotVersion = 1
 
-// WriteSnapshot serialises a dataset and (optionally nil) network to w.
+// WriteSnapshot serialises a dataset and (optionally nil) network to w as
+// an arena snapshot container with routes, transitions and network
+// sections. Routes and transitions are encoded sorted by ID, the
+// container's canonical order.
 func WriteSnapshot(w io.Writer, ds *model.Dataset, g *graph.Graph) error {
-	snap := snapshot{
-		Version:     snapshotVersion,
-		Routes:      ds.Routes,
-		Transitions: ds.Transitions,
+	routes := append([]model.Route(nil), ds.Routes...)
+	sort.Slice(routes, func(i, j int) bool { return routes[i].ID < routes[j].ID })
+	ts := append([]model.Transition(nil), ds.Transitions...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	rb, err := MarshalRoutes(routes)
+	if err != nil {
+		return err
 	}
+	sw := NewSectionWriter(w)
+	sw.Section(SecRoutes, rb)
+	sw.Section(SecTransitions, MarshalTransitions(ts))
 	if g != nil {
-		for v := 0; v < g.NumVertices(); v++ {
-			snap.Points = append(snap.Points, g.Point(graph.VertexID(v)))
-		}
-		for u := 0; u < g.NumVertices(); u++ {
-			for _, e := range g.Neighbors(graph.VertexID(u)) {
-				if graph.VertexID(u) < e.To {
-					snap.EdgeU = append(snap.EdgeU, graph.VertexID(u))
-					snap.EdgeV = append(snap.EdgeV, e.To)
-					snap.EdgeW = append(snap.EdgeW, e.W)
-				}
-			}
-		}
+		sw.Section(SecNetwork, MarshalNetwork(g, nil))
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	return sw.Close()
 }
 
-// ReadSnapshot deserialises a dataset and network written by
-// WriteSnapshot. The network is nil if none was stored.
+// ReadSnapshot deserialises a dataset and network from either snapshot
+// format: the arena snapshot container (new) or the legacy gob blob
+// (old). Containers carrying index sections decode too — the dataset
+// sections are always present — so an index snapshot doubles as a
+// dataset snapshot. The network is nil if none was stored.
 func ReadSnapshot(r io.Reader) (*model.Dataset, *graph.Graph, error) {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(len(ContainerMagic))
+	if err == nil && IsContainer(prefix) {
+		secs, err := ReadSections(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		return DatasetFromSections(secs)
+	}
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, nil, fmt.Errorf("dataio: snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
@@ -191,6 +211,36 @@ func ReadSnapshot(r io.Reader) (*model.Dataset, *graph.Graph, error) {
 			if err := g.AddEdge(snap.EdgeU[i], snap.EdgeV[i], snap.EdgeW[i]); err != nil {
 				return nil, nil, fmt.Errorf("dataio: snapshot edge %d: %w", i, err)
 			}
+		}
+	}
+	return ds, g, nil
+}
+
+// DatasetFromSections extracts the dataset and network from a parsed
+// arena snapshot container.
+func DatasetFromSections(secs *Sections) (*model.Dataset, *graph.Graph, error) {
+	rb, ok := secs.Lookup(SecRoutes)
+	if !ok {
+		return nil, nil, fmt.Errorf("dataio: snapshot has no %q section", SecRoutes)
+	}
+	routes, err := UnmarshalRoutes(rb)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	tb, ok := secs.Lookup(SecTransitions)
+	if !ok {
+		return nil, nil, fmt.Errorf("dataio: snapshot has no %q section", SecTransitions)
+	}
+	ts, err := UnmarshalTransitions(tb)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
+	ds := &model.Dataset{Routes: routes, Transitions: ts}
+	var g *graph.Graph
+	if nb, ok := secs.Lookup(SecNetwork); ok {
+		g, _, err = UnmarshalNetwork(nb)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataio: %w", err)
 		}
 	}
 	return ds, g, nil

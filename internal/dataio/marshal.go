@@ -1,0 +1,283 @@
+package dataio
+
+// Binary payload codecs for the dataset-level sections of the arena
+// snapshot container: routes, transitions and the bus network. The index
+// arenas encode themselves (internal/rtree, internal/index); these
+// codecs are shared between the dataset snapshot (WriteSnapshot) and the
+// index snapshot (internal/index), so a file carrying index sections is
+// still readable as a plain dataset snapshot.
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns.
+// Encoders are deterministic: callers pass slices in a canonical order
+// (routes and transitions sorted by ID) so that encode(decode(b)) == b.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Section tags for dataset-level payloads.
+const (
+	SecRoutes      = "routes"
+	SecTransitions = "trans"
+	SecNetwork     = "network"
+)
+
+// appendPoint / point are the 16-byte planar point codec.
+func appendPoint(b []byte, p geo.Point) []byte {
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p.X))
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(p.Y))
+}
+
+// decoder is a bounds-checked little-endian cursor over one payload.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("dataio: payload truncated at offset %d (want %d more bytes)", d.off, n)
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) u32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *decoder) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *decoder) i32() int32   { return int32(d.u32()) }
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) point() geo.Point {
+	x := d.f64()
+	return geo.Point{X: x, Y: d.f64()}
+}
+
+// count reads a u64 element count and bounds it by the bytes remaining
+// (each element takes at least elemSize bytes), so a corrupt count cannot
+// drive a huge allocation.
+func (d *decoder) count(elemSize int) int {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.b)-d.off)/uint64(elemSize) {
+		d.fail("dataio: payload count %d exceeds remaining bytes", n)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("dataio: %d trailing bytes in payload", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// MarshalRoutes encodes routes (callers pass them sorted by ID):
+// u64 count, then per route: i32 id, u32 points, stops []i32, pts []point.
+// A route whose Stops and Pts lengths disagree is rejected — the wire
+// format stores one count for both arrays.
+func MarshalRoutes(routes []model.Route) ([]byte, error) {
+	size := 8
+	for i := range routes {
+		size += 8 + 4*len(routes[i].Stops) + 16*len(routes[i].Pts)
+	}
+	b := make([]byte, 0, size)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(routes)))
+	for i := range routes {
+		r := &routes[i]
+		if len(r.Stops) != len(r.Pts) {
+			return nil, fmt.Errorf("dataio: route %d has %d points but %d stop IDs", r.ID, len(r.Pts), len(r.Stops))
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.ID))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Pts)))
+		for _, s := range r.Stops {
+			b = binary.LittleEndian.AppendUint32(b, uint32(s))
+		}
+		for _, p := range r.Pts {
+			b = appendPoint(b, p)
+		}
+	}
+	return b, nil
+}
+
+// UnmarshalRoutes decodes a MarshalRoutes payload.
+func UnmarshalRoutes(b []byte) ([]model.Route, error) {
+	d := &decoder{b: b}
+	n := d.count(8)
+	routes := make([]model.Route, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		id := model.RouteID(d.i32())
+		np := int(d.u32())
+		if np < 0 || np > (len(d.b)-d.off)/20 {
+			d.fail("dataio: route %d claims %d points", id, np)
+			break
+		}
+		r := model.Route{ID: id, Stops: make([]model.StopID, np), Pts: make([]geo.Point, np)}
+		for j := 0; j < np; j++ {
+			r.Stops[j] = model.StopID(d.i32())
+		}
+		for j := 0; j < np; j++ {
+			r.Pts[j] = d.point()
+		}
+		routes = append(routes, r)
+	}
+	if err := d.finish(); err != nil {
+		return nil, fmt.Errorf("routes section: %w", err)
+	}
+	return routes, nil
+}
+
+// MarshalTransitions encodes transitions (sorted by ID): u64 count, then
+// per transition: i32 id, u32 zero padding, o point, d point, i64 time.
+func MarshalTransitions(ts []model.Transition) []byte {
+	b := make([]byte, 0, 8+48*len(ts))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(ts)))
+	for i := range ts {
+		t := &ts[i]
+		b = binary.LittleEndian.AppendUint32(b, uint32(t.ID))
+		b = binary.LittleEndian.AppendUint32(b, 0)
+		b = appendPoint(b, t.O)
+		b = appendPoint(b, t.D)
+		b = binary.LittleEndian.AppendUint64(b, uint64(t.Time))
+	}
+	return b
+}
+
+// UnmarshalTransitions decodes a MarshalTransitions payload.
+func UnmarshalTransitions(b []byte) ([]model.Transition, error) {
+	d := &decoder{b: b}
+	n := d.count(48)
+	ts := make([]model.Transition, n)
+	le := binary.LittleEndian
+	if rows := d.take(48 * n); rows != nil {
+		for i := range ts {
+			row := rows[48*i:]
+			ts[i] = model.Transition{
+				ID:   model.TransitionID(le.Uint32(row)),
+				O:    geo.Point{X: math.Float64frombits(le.Uint64(row[8:])), Y: math.Float64frombits(le.Uint64(row[16:]))},
+				D:    geo.Point{X: math.Float64frombits(le.Uint64(row[24:])), Y: math.Float64frombits(le.Uint64(row[32:]))},
+				Time: int64(le.Uint64(row[40:])),
+			}
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, fmt.Errorf("transitions section: %w", err)
+	}
+	return ts, nil
+}
+
+// MarshalNetwork encodes the bus network plus the stop-to-vertex
+// translation table: u64 vertices, u64 edges, u64 mappings, then vertex
+// points, then edges (i32 u, i32 v, f64 w; each undirected edge once,
+// u < v), then mappings (i32 stop, i32 vertex; sorted by stop). A nil
+// vertexOf encodes zero mappings, which decodes to the identity table
+// (vertex i is stop i) used by generator-produced networks.
+func MarshalNetwork(g *graph.Graph, vertexOf map[model.StopID]graph.VertexID) []byte {
+	nv := g.NumVertices()
+	b := binary.LittleEndian.AppendUint64(nil, uint64(nv))
+	var eu, ev []graph.VertexID
+	var ew []float64
+	for u := 0; u < nv; u++ {
+		for _, e := range g.Neighbors(graph.VertexID(u)) {
+			if graph.VertexID(u) < e.To {
+				eu = append(eu, graph.VertexID(u))
+				ev = append(ev, e.To)
+				ew = append(ew, e.W)
+			}
+		}
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(eu)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(vertexOf)))
+	for v := 0; v < nv; v++ {
+		b = appendPoint(b, g.Point(graph.VertexID(v)))
+	}
+	for i := range eu {
+		b = binary.LittleEndian.AppendUint32(b, uint32(eu[i]))
+		b = binary.LittleEndian.AppendUint32(b, uint32(ev[i]))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ew[i]))
+	}
+	stops := make([]model.StopID, 0, len(vertexOf))
+	for s := range vertexOf {
+		stops = append(stops, s)
+	}
+	sort.Slice(stops, func(i, j int) bool { return stops[i] < stops[j] })
+	for _, s := range stops {
+		b = binary.LittleEndian.AppendUint32(b, uint32(s))
+		b = binary.LittleEndian.AppendUint32(b, uint32(vertexOf[s]))
+	}
+	return b
+}
+
+// UnmarshalNetwork decodes a MarshalNetwork payload.
+func UnmarshalNetwork(b []byte) (*graph.Graph, map[model.StopID]graph.VertexID, error) {
+	d := &decoder{b: b}
+	nv := d.count(16) // 16-byte point per vertex
+	ne := d.count(16) // 16 bytes per edge
+	nm := d.count(8)  // 8 bytes per mapping
+	g := graph.New()
+	for i := 0; i < nv && d.err == nil; i++ {
+		g.AddVertex(d.point())
+	}
+	for i := 0; i < ne && d.err == nil; i++ {
+		u := graph.VertexID(d.i32())
+		v := graph.VertexID(d.i32())
+		w := d.f64()
+		if d.err == nil {
+			if err := g.AddEdge(u, v, w); err != nil {
+				return nil, nil, fmt.Errorf("network section: edge %d: %w", i, err)
+			}
+		}
+	}
+	var vertexOf map[model.StopID]graph.VertexID
+	if nm == 0 {
+		vertexOf = make(map[model.StopID]graph.VertexID, nv)
+		for i := 0; i < nv; i++ {
+			vertexOf[model.StopID(i)] = graph.VertexID(i)
+		}
+	} else {
+		vertexOf = make(map[model.StopID]graph.VertexID, nm)
+		for i := 0; i < nm && d.err == nil; i++ {
+			s := model.StopID(d.i32())
+			vertexOf[s] = graph.VertexID(d.i32())
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, nil, fmt.Errorf("network section: %w", err)
+	}
+	return g, vertexOf, nil
+}

@@ -1,0 +1,281 @@
+package dataio
+
+// Arena snapshot container (the "RKNTSNP2" format).
+//
+// A snapshot file is a sequence of tagged, length-prefixed, checksummed,
+// 8-byte-aligned sections followed by a section table and a fixed-size
+// footer. The layout is designed so that a loader can either stream the
+// file front to back (every section is self-framed) or mmap it and jump
+// straight to a section through the table at the end:
+//
+//	offset 0        magic "RKNTSNP2" (8 bytes)
+//	                sections, each:
+//	                  tag     [8]byte   (NUL-padded ASCII)
+//	                  length  uint64    (payload bytes, excluding padding)
+//	                  payload [length]byte
+//	                  padding to the next 8-byte boundary (zero bytes)
+//	                section table: one 32-byte entry per section:
+//	                  tag     [8]byte
+//	                  offset  uint64    (of the section header)
+//	                  length  uint64    (payload bytes)
+//	                  crc     uint32    (CRC-32C of the payload)
+//	                  _pad    uint32    (zero)
+//	last 32 bytes   footer:
+//	                  tableOffset uint64
+//	                  count       uint64
+//	                  tableCRC    uint32  (CRC-32C of the table bytes)
+//	                  _pad        uint32  (zero)
+//	                  magic       "RKNTSNPF" (8 bytes)
+//
+// All integers are little-endian. Section payload encodings are owned by
+// the packages that write them (internal/rtree, internal/index,
+// internal/serve); this file only implements the container. The normative
+// specification, including the per-section payload layouts and the
+// compatibility rules, lives in docs/ARCHITECTURE.md.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+const (
+	// ContainerMagic opens every arena snapshot file.
+	ContainerMagic = "RKNTSNP2"
+	footerMagic    = "RKNTSNPF"
+
+	tagLen     = 8
+	headerLen  = tagLen + 8 // tag + payload length
+	tableEntry = 32
+	footerLen  = 32
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// IsContainer reports whether the buffer starts with the arena snapshot
+// magic. Eight bytes are enough to decide.
+func IsContainer(prefix []byte) bool {
+	return len(prefix) >= len(ContainerMagic) && string(prefix[:len(ContainerMagic)]) == ContainerMagic
+}
+
+type sectionRef struct {
+	tag    string
+	offset uint64
+	length uint64
+	crc    uint32
+}
+
+// SectionWriter assembles an arena snapshot container. Sections are
+// written in call order; Close appends the section table and footer.
+// Methods record the first error and turn later calls into no-ops, so
+// callers may check the error once, at Close.
+type SectionWriter struct {
+	w    io.Writer
+	off  uint64
+	refs []sectionRef
+	err  error
+}
+
+// NewSectionWriter starts a container on w by writing the magic.
+func NewSectionWriter(w io.Writer) *SectionWriter {
+	sw := &SectionWriter{w: w}
+	sw.write([]byte(ContainerMagic))
+	return sw
+}
+
+func (sw *SectionWriter) write(b []byte) {
+	if sw.err != nil {
+		return
+	}
+	n, err := sw.w.Write(b)
+	sw.off += uint64(n)
+	sw.err = err
+}
+
+var pad8 [8]byte
+
+func (sw *SectionWriter) pad() {
+	if rem := sw.off % 8; rem != 0 {
+		sw.write(pad8[:8-rem])
+	}
+}
+
+// Section appends one tagged section. The tag must be 1..8 bytes of
+// ASCII without NULs; duplicate tags are rejected.
+func (sw *SectionWriter) Section(tag string, payload []byte) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if len(tag) == 0 || len(tag) > tagLen {
+		sw.err = fmt.Errorf("dataio: section tag %q: want 1..%d bytes", tag, tagLen)
+		return sw.err
+	}
+	for _, r := range sw.refs {
+		if r.tag == tag {
+			sw.err = fmt.Errorf("dataio: duplicate section tag %q", tag)
+			return sw.err
+		}
+	}
+	ref := sectionRef{
+		tag:    tag,
+		offset: sw.off,
+		length: uint64(len(payload)),
+		crc:    crc32.Checksum(payload, castagnoli),
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:tagLen], tag)
+	binary.LittleEndian.PutUint64(hdr[tagLen:], ref.length)
+	sw.write(hdr[:])
+	sw.write(payload)
+	sw.pad()
+	if sw.err == nil {
+		sw.refs = append(sw.refs, ref)
+	}
+	return sw.err
+}
+
+// Err returns the first error encountered by the writer, without
+// finishing the container.
+func (sw *SectionWriter) Err() error { return sw.err }
+
+// Close writes the section table and footer. The writer must not be used
+// afterwards.
+func (sw *SectionWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	tableOff := sw.off
+	table := make([]byte, 0, len(sw.refs)*tableEntry)
+	for _, r := range sw.refs {
+		var e [tableEntry]byte
+		copy(e[:tagLen], r.tag)
+		binary.LittleEndian.PutUint64(e[8:], r.offset)
+		binary.LittleEndian.PutUint64(e[16:], r.length)
+		binary.LittleEndian.PutUint32(e[24:], r.crc)
+		table = append(table, e[:]...)
+	}
+	sw.write(table)
+	var foot [footerLen]byte
+	binary.LittleEndian.PutUint64(foot[0:], tableOff)
+	binary.LittleEndian.PutUint64(foot[8:], uint64(len(sw.refs)))
+	binary.LittleEndian.PutUint32(foot[16:], crc32.Checksum(table, castagnoli))
+	copy(foot[24:], footerMagic)
+	sw.write(foot[:])
+	return sw.err
+}
+
+// Sections is a parsed arena snapshot container. Payload slices alias the
+// underlying buffer: treat them as read-only.
+type Sections struct {
+	refs  []sectionRef
+	byTag map[string][]byte
+}
+
+// Lookup returns the payload of the tagged section.
+func (s *Sections) Lookup(tag string) ([]byte, bool) {
+	b, ok := s.byTag[tag]
+	return b, ok
+}
+
+// Has reports whether the tagged section is present.
+func (s *Sections) Has(tag string) bool { _, ok := s.byTag[tag]; return ok }
+
+// Tags returns the section tags in file order.
+func (s *Sections) Tags() []string {
+	out := make([]string, len(s.refs))
+	for i, r := range s.refs {
+		out[i] = r.tag
+	}
+	return out
+}
+
+// ReadSections reads a whole container from r and parses it. When r can
+// report its size (*os.File and friends), the buffer is allocated once
+// up front, so loading a snapshot is a single sequential read with no
+// growth copies.
+func ReadSections(r io.Reader) (*Sections, error) {
+	var buf bytes.Buffer
+	if f, ok := r.(interface{ Stat() (os.FileInfo, error) }); ok {
+		if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+			buf.Grow(int(fi.Size()) + 1)
+		}
+	} else if l, ok := r.(interface{ Len() int }); ok {
+		buf.Grow(l.Len() + 1)
+	}
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, fmt.Errorf("dataio: reading snapshot: %w", err)
+	}
+	return ParseSections(buf.Bytes())
+}
+
+// ParseSections parses an arena snapshot container held in memory (or
+// mmapped). Every section checksum is verified; payloads alias data.
+func ParseSections(data []byte) (*Sections, error) {
+	if len(data) < len(ContainerMagic)+footerLen {
+		return nil, fmt.Errorf("dataio: snapshot too short (%d bytes)", len(data))
+	}
+	if !IsContainer(data) {
+		return nil, fmt.Errorf("dataio: bad snapshot magic %q", data[:len(ContainerMagic)])
+	}
+	foot := data[len(data)-footerLen:]
+	if string(foot[24:]) != footerMagic {
+		return nil, fmt.Errorf("dataio: bad snapshot footer magic (truncated file?)")
+	}
+	tableOff := binary.LittleEndian.Uint64(foot[0:])
+	count := binary.LittleEndian.Uint64(foot[8:])
+	tableCRC := binary.LittleEndian.Uint32(foot[16:])
+	// Bound count before multiplying: the footer is not covered by any
+	// checksum, and a wild count could wrap count*tableEntry right back
+	// into range.
+	if count > uint64(len(data))/tableEntry {
+		return nil, fmt.Errorf("dataio: snapshot section count %d out of bounds", count)
+	}
+	tableEnd := tableOff + count*tableEntry
+	if tableOff > uint64(len(data)) || tableEnd != uint64(len(data)-footerLen) {
+		return nil, fmt.Errorf("dataio: snapshot section table out of bounds")
+	}
+	table := data[tableOff:tableEnd]
+	if crc32.Checksum(table, castagnoli) != tableCRC {
+		return nil, fmt.Errorf("dataio: snapshot section table checksum mismatch")
+	}
+	s := &Sections{byTag: make(map[string][]byte, count)}
+	for i := uint64(0); i < count; i++ {
+		e := table[i*tableEntry:]
+		ref := sectionRef{
+			tag:    trimTag(e[:tagLen]),
+			offset: binary.LittleEndian.Uint64(e[8:]),
+			length: binary.LittleEndian.Uint64(e[16:]),
+			crc:    binary.LittleEndian.Uint32(e[24:]),
+		}
+		payloadOff := ref.offset + headerLen
+		if ref.offset+headerLen < ref.offset || payloadOff+ref.length < payloadOff ||
+			payloadOff+ref.length > tableOff {
+			return nil, fmt.Errorf("dataio: section %q out of bounds", ref.tag)
+		}
+		hdr := data[ref.offset : ref.offset+headerLen]
+		if trimTag(hdr[:tagLen]) != ref.tag || binary.LittleEndian.Uint64(hdr[tagLen:]) != ref.length {
+			return nil, fmt.Errorf("dataio: section %q header disagrees with table", ref.tag)
+		}
+		payload := data[payloadOff : payloadOff+ref.length]
+		if crc32.Checksum(payload, castagnoli) != ref.crc {
+			return nil, fmt.Errorf("dataio: section %q checksum mismatch", ref.tag)
+		}
+		if _, dup := s.byTag[ref.tag]; dup {
+			return nil, fmt.Errorf("dataio: duplicate section tag %q", ref.tag)
+		}
+		s.refs = append(s.refs, ref)
+		s.byTag[ref.tag] = payload
+	}
+	return s, nil
+}
+
+func trimTag(b []byte) string {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return string(b[:end])
+}

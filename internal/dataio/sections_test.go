@@ -1,0 +1,111 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSectionRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSectionWriter(&buf)
+	payloads := map[string][]byte{
+		"alpha":    []byte("hello"),
+		"beta":     {},                            // empty payload
+		"gamma678": bytes.Repeat([]byte{7}, 1000), // max-length tag, unaligned size
+	}
+	for _, tag := range []string{"alpha", "beta", "gamma678"} {
+		if err := sw.Section(tag, payloads[tag]); err != nil {
+			t.Fatalf("Section(%q): %v", tag, err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len()%8 != 0 {
+		t.Errorf("container length %d not 8-byte aligned", buf.Len())
+	}
+
+	secs, err := ReadSections(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := secs.Tags(); len(got) != 3 || got[0] != "alpha" || got[1] != "beta" || got[2] != "gamma678" {
+		t.Fatalf("Tags() = %v", got)
+	}
+	for tag, want := range payloads {
+		got, ok := secs.Lookup(tag)
+		if !ok {
+			t.Fatalf("section %q missing", tag)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("section %q payload mismatch", tag)
+		}
+	}
+	if secs.Has("nope") {
+		t.Error("Has reported an unknown tag")
+	}
+}
+
+func TestSectionWriterRejectsBadTags(t *testing.T) {
+	sw := NewSectionWriter(&bytes.Buffer{})
+	if err := sw.Section("", nil); err == nil {
+		t.Error("empty tag accepted")
+	}
+	sw = NewSectionWriter(&bytes.Buffer{})
+	if err := sw.Section("ninechars", nil); err == nil {
+		t.Error("9-byte tag accepted")
+	}
+	sw = NewSectionWriter(&bytes.Buffer{})
+	sw.Section("dup", []byte("a"))
+	if err := sw.Section("dup", []byte("b")); err == nil {
+		t.Error("duplicate tag accepted")
+	}
+}
+
+func TestParseSectionsDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSectionWriter(&buf)
+	sw.Section("data", bytes.Repeat([]byte("abcdefgh"), 64))
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ParseSections(good); err != nil {
+		t.Fatalf("pristine container rejected: %v", err)
+	}
+	// Flip one payload byte: the section checksum must catch it.
+	bad := append([]byte(nil), good...)
+	bad[32] ^= 0x40
+	if _, err := ParseSections(bad); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted payload: err = %v, want checksum mismatch", err)
+	}
+	// Truncate the file: the footer magic check must catch it.
+	if _, err := ParseSections(good[:len(good)-5]); err == nil {
+		t.Error("truncated container accepted")
+	}
+	// Wrong leading magic.
+	bad = append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ParseSections(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	// The footer is not checksummed: a wild section count whose
+	// count*tableEntry product wraps back into range must error, not
+	// panic (bit 59 flipped: 32*2^59 ≡ 0 mod 2^64).
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-footerLen+8+7] ^= 0x08
+	if _, err := ParseSections(bad); err == nil {
+		t.Error("overflowing section count accepted")
+	}
+}
+
+func TestIsContainer(t *testing.T) {
+	if !IsContainer([]byte(ContainerMagic + "xxxx")) {
+		t.Error("IsContainer rejected the magic")
+	}
+	if IsContainer([]byte("RKNT")) || IsContainer(nil) {
+		t.Error("IsContainer accepted a short or foreign prefix")
+	}
+}

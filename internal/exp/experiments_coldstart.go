@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dataio"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// ColdStart measures boot time from cold storage: parsing the CSV files
+// and STR bulk-loading the indexes (what every pre-snapshot restart of
+// rknnt-serve paid) versus a sequential read of the arena snapshot
+// (what `rknnt-serve -index` pays). Both paths end with a query-ready
+// Index over the same data; the loaded index is validated against the
+// built one by cardinality and answers queries identically (the
+// round-trip differential tests assert that).
+func (s *Suite) ColdStart() (*Table, error) {
+	t := &Table{
+		ID:    "coldstart",
+		Title: "Cold start: CSV bulk-load vs arena snapshot load",
+		Header: []string{"dataset", "routes", "transitions",
+			"csv_ms", "arena_ms", "speedup", "csv_bytes", "arena_bytes"},
+		Notes: []string{
+			"csv_ms = read routes.csv+transitions.csv + STR bulk-load; arena_ms = sequential arena snapshot read",
+			"arena load restores the R-tree arenas verbatim: no parsing, no sorting, no re-insertion",
+		},
+	}
+	for _, w := range []*workload{s.LA(), s.Synthetic()} {
+		if err := s.coldStartRow(t, w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (s *Suite) coldStartRow(t *Table, w *workload) error {
+	dir, err := os.MkdirTemp("", "rknnt-coldstart-")
+	if err != nil {
+		return fmt.Errorf("exp: coldstart: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	routesCSV := filepath.Join(dir, "routes.csv")
+	transCSV := filepath.Join(dir, "transitions.csv")
+	arena := filepath.Join(dir, "city.arena")
+	if err := writeTo(routesCSV, func(f *os.File) error {
+		return dataio.WriteRoutesCSV(f, w.City.Dataset.Routes)
+	}); err != nil {
+		return err
+	}
+	if err := writeTo(transCSV, func(f *os.File) error {
+		return dataio.WriteTransitionsCSV(f, w.City.Dataset.Transitions)
+	}); err != nil {
+		return err
+	}
+	if err := writeTo(arena, func(f *os.File) error {
+		bw := bufio.NewWriterSize(f, 1<<20)
+		if err := index.WriteSnapshot(bw, w.X); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}); err != nil {
+		return err
+	}
+
+	// CSV path: parse both files, then STR bulk-load every index.
+	csvStart := time.Now()
+	routes, err := readFrom(routesCSV, dataio.ReadRoutesCSV)
+	if err != nil {
+		return err
+	}
+	trans, err := readFrom(transCSV, dataio.ReadTransitionsCSV)
+	if err != nil {
+		return err
+	}
+	built, err := index.Build(&model.Dataset{Routes: routes, Transitions: trans})
+	if err != nil {
+		return err
+	}
+	csvElapsed := time.Since(csvStart)
+
+	// Arena path: one sequential read, arenas restored verbatim.
+	arenaStart := time.Now()
+	f, err := os.Open(arena)
+	if err != nil {
+		return err
+	}
+	loaded, err := index.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	arenaElapsed := time.Since(arenaStart)
+
+	if loaded.NumRoutes() != built.NumRoutes() || loaded.NumTransitions() != built.NumTransitions() {
+		return fmt.Errorf("exp: coldstart: loaded index has %d/%d routes/transitions, built has %d/%d",
+			loaded.NumRoutes(), loaded.NumTransitions(), built.NumRoutes(), built.NumTransitions())
+	}
+
+	csvBytes := fileSize(routesCSV) + fileSize(transCSV)
+	t.AddRow(w.Name, loaded.NumRoutes(), loaded.NumTransitions(),
+		float64(csvElapsed.Microseconds())/1000,
+		float64(arenaElapsed.Microseconds())/1000,
+		float64(csvElapsed)/float64(arenaElapsed),
+		csvBytes, fileSize(arena))
+	return nil
+}
+
+func writeTo(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readFrom[T any](path string, read func(r io.Reader) ([]T, error)) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return read(f)
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

@@ -1,0 +1,49 @@
+// Package index implements the index structures of Section 4.1.2 of the
+// paper: the RR-tree over route points, the TR-tree over transition
+// endpoints, the PList (inverted list from stop to covering routes, i.e.
+// the crossover route set of Definition 7) and the NList (R-tree node to
+// the set of route IDs stored beneath it).
+//
+// The indexes support dynamic updates: routes and transitions can be added
+// and removed at any time, which is the paper's motivating scenario of
+// continuously arriving passenger transitions.
+//
+// # Sharding
+//
+// The TR-tree is split into independent shards (default GOMAXPROCS):
+// transitions are dealt to shards round-robin in STR tile order, so every
+// shard holds a spatially balanced, similar-size subset and parallel
+// traversals fan out with even work. Both endpoints of a transition live
+// in the same shard. Write batches apply to shards concurrently; queries
+// traverse shards independently and merge. Shard membership is sticky: a
+// transition stays on its shard for life, and the assignment (plus the
+// round-robin cursor for future arrivals) is part of the persisted
+// state.
+//
+// # NList freshness
+//
+// The NList consumed by query verification is the RR-tree's incremental
+// distinct-ID aggregate (rtree.WithIDAggregate): merged and unmerged
+// along the ancestor chain on every route insert and delete. Invariant:
+// NList(n) is exact after every completed mutation — there is no rebuild
+// window, so a query admitted after a write batch commits always sees
+// lists that reflect that batch. The pre-refactor wholesale rebuild
+// survives behind SetLegacyNList(true) as a differential-test oracle.
+//
+// # Concurrency
+//
+// All mutating methods require external synchronisation (the serving
+// layer provides a single-writer discipline). Read-only methods — queries,
+// NList/NListEach in the default incremental mode, Crossover — are safe to
+// call concurrently with each other.
+//
+// # Persistence
+//
+// WriteSnapshot/ReadSnapshot store the whole index as an arena snapshot
+// container (internal/dataio): the RR-tree and every TR-tree shard as
+// verbatim arena sections, plus the shard assignment, expiry heap and
+// route/transition tables (snapshot.go). A loaded index is structurally
+// identical to the saved one — same NodeIDs, same shard layout, same
+// aggregates — so it answers queries identically and keeps accepting
+// dynamic updates. See docs/ARCHITECTURE.md for the file format.
+package index

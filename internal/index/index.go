@@ -1,28 +1,3 @@
-// Package index implements the index structures of Section 4.1.2 of the
-// paper: the RR-tree over route points, the TR-tree over transition
-// endpoints, the PList (inverted list from stop to covering routes, i.e.
-// the crossover route set of Definition 7) and the NList (R-tree node to
-// the set of route IDs stored beneath it).
-//
-// The indexes support dynamic updates: routes and transitions can be added
-// and removed at any time, which is the paper's motivating scenario of
-// continuously arriving passenger transitions.
-//
-// # Sharding
-//
-// The TR-tree is split into independent shards (default GOMAXPROCS):
-// transitions are dealt to shards round-robin in STR tile order, so every
-// shard holds a spatially balanced, similar-size subset and parallel
-// traversals fan out with even work. Both endpoints of a transition live
-// in the same shard. Write batches apply to shards concurrently; queries
-// traverse shards independently and merge.
-//
-// # Concurrency
-//
-// All mutating methods require external synchronisation (the serving
-// layer provides a single-writer discipline). Read-only methods — queries,
-// NList/NListEach in the default incremental mode, Crossover — are safe to
-// call concurrently with each other.
 package index
 
 import (

@@ -1,0 +1,60 @@
+// Package rtree implements a dynamic R-tree over points (Guttman 1984,
+// quadratic split), with STR bulk loading, deletion with tree condensing,
+// range and k-nearest-neighbour search, and direct node access for the
+// best-first traversals used by the RkNNT filter-refinement framework.
+//
+// # Flat arena layout
+//
+// Nodes are not heap objects: the tree is a struct-of-arrays arena
+// addressed by int32 NodeIDs. Rects, fill counts, parent links, child ID
+// blocks and leaf entry blocks live in contiguous slices with a fixed
+// stride per node, so traversals walk flat memory instead of chasing
+// pointers and mutations never allocate per node (freed IDs are recycled
+// through a free list). Callers traverse with NodeID handles and the
+// accessor methods on Tree.
+//
+// The tree stores Entry values: a point plus two integer payload fields.
+// The RkNNT indexes use ID for the owning route/transition and Aux for the
+// stop ID or the origin/destination role.
+//
+// # NodeID stability
+//
+// A NodeID is an index into the arena, meaningful only against the tree
+// that issued it:
+//
+//   - Between structural changes, IDs are stable: queries running
+//     concurrently with each other may hold and dereference them freely.
+//   - Any Insert or Delete invalidates every outstanding NodeID (and
+//     every slice returned by Children, Entries or IDList, which alias
+//     the arena). Generation() increments on each structural change so
+//     caches keyed by NodeIDs can detect staleness.
+//   - Freed IDs are recycled: a stale NodeID may later address a
+//     different live node, so "invalidated" means unusable, not merely
+//     dangling.
+//   - Serialization preserves IDs: a tree loaded from an arena snapshot
+//     (ReadArena/TreeFromArena) assigns every node the same NodeID it
+//     had when saved, which is what lets the index layer persist
+//     NodeID-keyed structures alongside the tree.
+//
+// # Distinct-ID aggregate
+//
+// With WithIDAggregate the tree additionally maintains, per node, the
+// sorted set of distinct Entry.ID values stored beneath it (with
+// refcounts), updated incrementally along the insert/delete path. This is
+// the NList of the RkNNT paper kept fresh in O(depth) per update instead
+// of rebuilt in O(tree) per change. Invariant: after every public
+// mutation, IDList(n) equals the exact distinct set of Entry.ID values
+// under n, for every live node n (checkInvariants verifies this in
+// tests; the incremental maintenance is differentially fuzzed against a
+// wholesale recount).
+//
+// # Persistence
+//
+// WriteArena/AppendArena dump the backing slices verbatim — including
+// dead slots and free-list nodes — as a versioned, 8-byte-aligned binary
+// payload; ReadArena/TreeFromArena reconstruct the identical arena. The
+// encoding is canonical (save→load→save is byte-identical) and embeds
+// the fanout constants, so a build with a different node layout refuses
+// the payload instead of misreading it. The layout is documented in
+// arena_io.go and normatively in docs/ARCHITECTURE.md.
+package rtree

@@ -1,27 +1,3 @@
-// Package rtree implements a dynamic R-tree over points (Guttman 1984,
-// quadratic split), with STR bulk loading, deletion with tree condensing,
-// range and k-nearest-neighbour search, and direct node access for the
-// best-first traversals used by the RkNNT filter-refinement framework.
-//
-// # Flat arena layout
-//
-// Nodes are not heap objects: the tree is a struct-of-arrays arena
-// addressed by int32 NodeIDs. Rects, fill counts, parent links, child ID
-// blocks and leaf entry blocks live in contiguous slices with a fixed
-// stride per node, so traversals walk flat memory instead of chasing
-// pointers and mutations never allocate per node (freed IDs are recycled
-// through a free list). Callers traverse with NodeID handles and the
-// accessor methods on Tree.
-//
-// The tree stores Entry values: a point plus two integer payload fields.
-// The RkNNT indexes use ID for the owning route/transition and Aux for the
-// stop ID or the origin/destination role.
-//
-// With WithIDAggregate the tree additionally maintains, per node, the
-// sorted set of distinct Entry.ID values stored beneath it (with
-// refcounts), updated incrementally along the insert/delete path. This is
-// the NList of the RkNNT paper kept fresh in O(depth) per update instead
-// of rebuilt in O(tree) per change.
 package rtree
 
 import (

@@ -1,0 +1,47 @@
+// Package serve turns the single-threaded RkNNT index into a
+// concurrency-safe serving engine: the single-writer/many-reader core
+// behind the HTTP API in internal/server.
+//
+// Design:
+//
+//   - An RWMutex guards the index. Queries hold the read side; all
+//     mutations are funnelled through one writer goroutine that holds
+//     the write side, so queries observe a consistent snapshot and the
+//     paper's algorithms need no internal locking.
+//   - Transition writes (add / remove / expire) are queued and
+//     coalesced: whatever has accumulated while the previous batch was
+//     committing is applied under a single lock acquisition and one
+//     epoch bump — the batching the ROADMAP's serving scenario calls
+//     for. Runs of same-kind ops hand their per-shard tree mutations to
+//     the index as one parallel sub-batch.
+//   - Identical concurrent queries (same geometry, k, method,
+//     semantics, time window) compute once and share the result.
+//   - Standing queries are maintained incrementally by the existing
+//     internal/monitor and their deltas fanned out to subscribers
+//     (server-sent events at the HTTP layer).
+//
+// # Epoch semantics
+//
+// A single uint64 epoch versions the index. Invariants:
+//
+//   - The epoch advances on every committed write batch and every route
+//     change, always under the write lock, and never moves otherwise: a
+//     fixed epoch identifies an immutable logical snapshot.
+//   - Cached query results carry the epoch they were computed at.
+//     Committed transition batches repair entries in place (repair.go)
+//     and stamp them forward; route changes, which shift every rank,
+//     purge instead. In-flight dedup keys include the epoch, so a query
+//     never adopts a result computed over an older snapshot.
+//   - The epoch is persisted in engine snapshots (snapshot.go) and
+//     re-seeded through Options.InitialEpoch on warm starts, so the
+//     version sequence observed by clients is monotonic across process
+//     restarts serving the same data lineage.
+//
+// # Persistence
+//
+// Engine.WriteSnapshot serialises the index (R-tree arenas verbatim),
+// the epoch and the bus network as an arena snapshot container under
+// the read lock; ReadSnapshot reverses it for warm boots. Cold starts
+// bulk-load from a dataset instead; the two paths produce engines that
+// answer queries identically (asserted by the differential tests).
+package serve

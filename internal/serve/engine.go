@@ -1,30 +1,3 @@
-// Package serve turns the single-threaded RkNNT index into a
-// concurrency-safe serving engine: the single-writer/many-reader core
-// behind the HTTP API in internal/server.
-//
-// Design:
-//
-//   - An RWMutex guards the index. Queries hold the read side; all
-//     mutations are funnelled through one writer goroutine that holds
-//     the write side, so queries observe a consistent snapshot and the
-//     paper's algorithms need no internal locking.
-//   - Transition writes (add / remove / expire) are queued and
-//     coalesced: whatever has accumulated while the previous batch was
-//     committing is applied under a single lock acquisition and one
-//     epoch bump — the batching the ROADMAP's serving scenario calls
-//     for. Runs of same-kind ops hand their per-shard tree mutations to
-//     the index as one parallel sub-batch.
-//   - An epoch counter versions the index. Each committed batch bumps
-//     it and repairs the LRU query-result cache in place (see
-//     repair.go) instead of purging; route changes, which shift every
-//     rank, still purge. In-flight deduplication keys include the
-//     epoch so a query never adopts a result computed over an older
-//     snapshot.
-//   - Identical concurrent queries (same geometry, k, method,
-//     semantics, time window) compute once and share the result.
-//   - Standing queries are maintained incrementally by the existing
-//     internal/monitor and their deltas fanned out to subscribers
-//     (server-sent events at the HTTP layer).
 package serve
 
 import (
@@ -60,6 +33,11 @@ type Options struct {
 	// VertexOf translates stop IDs to network vertices.
 	Network  *graph.Graph
 	VertexOf map[model.StopID]graph.VertexID
+
+	// InitialEpoch seeds the engine's version counter. Warm starts pass
+	// the epoch stored in the snapshot (see ReadSnapshot) so the version
+	// sequence stays monotonic across restarts; cold starts leave it 0.
+	InitialEpoch uint64
 }
 
 func (o *Options) fill() {
@@ -130,6 +108,7 @@ func New(idx *index.Index, opts Options) *Engine {
 		subs:    make(map[int]*subscriber),
 		plans:   make(map[plannerKey]*plannerEntry),
 	}
+	e.epoch.Store(opts.InitialEpoch)
 	e.wg.Add(1)
 	go e.writer()
 	return e

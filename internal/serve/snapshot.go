@@ -1,0 +1,108 @@
+package serve
+
+// Engine snapshots: persistence glue between the serving layer and the
+// arena snapshot container (internal/dataio). An engine snapshot is an
+// index snapshot (internal/index) plus two serving-layer sections: the
+// epoch at save time, so a warm-started engine resumes a monotonic
+// version sequence, and the bus network with its stop-to-vertex table,
+// so planning survives a restart.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataio"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// SecEpoch is the section carrying the engine epoch at save time
+// (one u64).
+const SecEpoch = "srvepoch"
+
+// WriteSnapshot serialises the engine's index, epoch and network as an
+// arena snapshot container. It runs under the read lock: concurrent
+// queries proceed, writes wait for the serialization to finish (the
+// arenas are dumped verbatim, so this is a memory copy, not a rebuild).
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sw := dataio.NewSectionWriter(w)
+	sw.Section(SecEpoch, binary.LittleEndian.AppendUint64(nil, e.epoch.Load()))
+	if err := index.AppendSnapshotSections(sw, e.idx); err != nil {
+		return err
+	}
+	if e.opts.Network != nil {
+		sw.Section(dataio.SecNetwork, dataio.MarshalNetwork(e.opts.Network, e.opts.VertexOf))
+	}
+	return sw.Close()
+}
+
+// WriteSnapshotFile saves the engine's snapshot at path and returns its
+// size. The snapshot is written to a temporary file in the same
+// directory, fsynced, and renamed into place, so a crash mid-save never
+// leaves a torn or unsynced snapshot at path. Used by both the
+// rknnt-serve -save-index flag and the POST /v1/snapshot endpoint.
+func (e *Engine) WriteSnapshotFile(path string) (int64, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	err = e.WriteSnapshot(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	var size int64
+	if err == nil {
+		size, err = tmp.Seek(0, io.SeekEnd)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return size, os.Rename(tmp.Name(), path)
+}
+
+// ReadSnapshot loads an engine snapshot (or any container with index
+// sections): the reassembled index, the network and stop-to-vertex table
+// (nil if none was stored), and the epoch to seed a new engine with
+// (zero if the snapshot carries no serving metadata). Pass the epoch as
+// Options.InitialEpoch so clients that cached results against the old
+// process observe a version no older than what they saw.
+func ReadSnapshot(r io.Reader) (*index.Index, *graph.Graph, map[model.StopID]graph.VertexID, uint64, error) {
+	secs, err := dataio.ReadSections(r)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	x, err := index.SnapshotFromSections(secs)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	var epoch uint64
+	if eb, ok := secs.Lookup(SecEpoch); ok {
+		if len(eb) != 8 {
+			return nil, nil, nil, 0, fmt.Errorf("serve: %q section is %d bytes, want 8", SecEpoch, len(eb))
+		}
+		epoch = binary.LittleEndian.Uint64(eb)
+	}
+	var g *graph.Graph
+	var vertexOf map[model.StopID]graph.VertexID
+	if nb, ok := secs.Lookup(dataio.SecNetwork); ok {
+		if g, vertexOf, err = dataio.UnmarshalNetwork(nb); err != nil {
+			return nil, nil, nil, 0, err
+		}
+	}
+	return x, g, vertexOf, epoch, nil
+}

@@ -14,6 +14,7 @@
 //	POST   /v1/routes             batch-add routes
 //	DELETE /v1/routes             batch-remove routes by ID
 //	GET    /v1/routes/{id}        fetch one route
+//	POST   /v1/snapshot           save an arena snapshot for warm restarts
 //	GET    /v1/watch              standing continuous query (SSE)
 //	GET    /v1/stats              engine + per-endpoint counters
 //	GET    /healthz               liveness
@@ -63,6 +64,7 @@ func New(e *serve.Engine) *Server {
 	handle("POST /v1/routes", "POST /v1/routes", s.handleAddRoutes)
 	handle("DELETE /v1/routes", "DELETE /v1/routes", s.handleDeleteRoutes)
 	handle("GET /v1/routes/{id}", "GET /v1/routes/{id}", s.handleGetRoute)
+	handle("POST /v1/snapshot", "/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/watch", s.metrics.instrumentStream("/v1/watch", s.handleWatch))
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
 	handle("GET /healthz", "/healthz", s.handleHealthz)

@@ -1,0 +1,49 @@
+package server
+
+// POST /v1/snapshot: persist the engine's index as an arena snapshot
+// file on the server's filesystem, for warm restarts via
+// `rknnt-serve -index <path>`.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+type snapshotRequest struct {
+	// Path is the destination file. The snapshot is written to a
+	// temporary file in the same directory, fsynced and renamed into
+	// place, so a crash mid-save never leaves a torn snapshot at Path.
+	Path string `json:"path"`
+}
+
+type snapshotResponse struct {
+	Path    string  `json:"path"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+	Epoch   uint64  `json:"epoch"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("path is required"))
+		return
+	}
+	start := time.Now()
+	size, err := s.engine.WriteSnapshotFile(req.Path)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Path:    req.Path,
+		Bytes:   size,
+		Seconds: time.Since(start).Seconds(),
+		Epoch:   s.engine.Epoch(),
+	})
+}

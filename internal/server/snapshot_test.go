@@ -1,0 +1,60 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+func TestSnapshotEndpoint(t *testing.T) {
+	s, engine := newTestServer(t,
+		model.Transition{ID: 1, O: geo.Pt(0, 0), D: geo.Pt(10, 0)},
+		model.Transition{ID: 2, O: geo.Pt(1, 1), D: geo.Pt(9, 1)},
+	)
+	path := filepath.Join(t.TempDir(), "state.arena")
+
+	w := doJSON(t, s, "POST", "/v1/snapshot", snapshotRequest{Path: path})
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /v1/snapshot = %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[snapshotResponse](t, w)
+	if resp.Path != path || resp.Bytes <= 0 {
+		t.Fatalf("snapshot response = %+v", resp)
+	}
+	if resp.Epoch != engine.Epoch() {
+		t.Fatalf("snapshot epoch %d, engine epoch %d", resp.Epoch, engine.Epoch())
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != resp.Bytes {
+		t.Fatalf("file is %d bytes, response claims %d", fi.Size(), resp.Bytes)
+	}
+
+	// The file round-trips into a serving-ready index.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x, _, _, _, err := serve.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.NumTransitions() != 2 {
+		t.Fatalf("reloaded snapshot has %d transitions, want 2", x.NumTransitions())
+	}
+}
+
+func TestSnapshotEndpointRejectsMissingPath(t *testing.T) {
+	s, _ := newTestServer(t)
+	if w := doJSON(t, s, "POST", "/v1/snapshot", snapshotRequest{}); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty path: status %d, want 400", w.Code)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/dataio"
+	"repro/internal/index"
 )
 
 // WriteRoutesCSV writes routes in the CSV layout emitted by cmd/rknnt-gen
@@ -28,14 +29,36 @@ func ReadTransitionsCSV(r io.Reader) ([]Transition, error) {
 	return dataio.ReadTransitionsCSV(r)
 }
 
-// WriteSnapshot serialises a dataset plus an optional network as one
-// binary blob, for fast reload of large generated workloads.
+// WriteSnapshot serialises a dataset plus an optional network as an
+// arena snapshot container (see docs/ARCHITECTURE.md for the format),
+// for fast reload of large generated workloads.
 func WriteSnapshot(w io.Writer, ds *Dataset, g *Network) error {
 	return dataio.WriteSnapshot(w, ds, g)
 }
 
-// ReadSnapshot deserialises a WriteSnapshot blob. The network is nil when
-// none was stored.
+// ReadSnapshot deserialises a snapshot: either an arena snapshot
+// container (including index snapshots, whose dataset sections are read
+// and whose arenas are ignored) or a legacy gob blob written by earlier
+// versions of this package. The network is nil when none was stored.
 func ReadSnapshot(r io.Reader) (*Dataset, *Network, error) {
 	return dataio.ReadSnapshot(r)
+}
+
+// WriteIndexSnapshot serialises the DB's built indexes — R-tree arenas
+// verbatim, shard layout, NList aggregates, expiry heap and route table
+// — so OpenIndexSnapshot can reopen the database with a sequential read
+// instead of a bulk load.
+func (db *DB) WriteIndexSnapshot(w io.Writer) error {
+	return index.WriteSnapshot(w, db.idx)
+}
+
+// OpenIndexSnapshot reopens a database from a WriteIndexSnapshot blob.
+// The loaded DB answers every query identically to the DB that was
+// saved.
+func OpenIndexSnapshot(r io.Reader) (*DB, error) {
+	idx, err := index.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{idx: idx}, nil
 }
