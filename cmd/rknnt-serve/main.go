@@ -40,6 +40,7 @@ import (
 	"repro/internal/gtfs"
 	"repro/internal/index"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/server"
 )
@@ -56,6 +57,9 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "query-result LRU capacity")
 	maxBatch := flag.Int("max-batch", 256, "max writes coalesced per batch")
 	saveIndex := flag.String("save-index", "", "write an arena index snapshot here once the indexes are ready")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	slowlog := flag.Duration("slowlog", 0, "record traces for queries slower than this (e.g. 25ms; 0 disables)")
+	slowlogCap := flag.Int("slowlog-cap", 64, "slow-query ring buffer capacity")
 	flag.Parse()
 
 	var (
@@ -63,6 +67,7 @@ func main() {
 		g        *graph.Graph
 		vertexOf map[model.StopID]graph.VertexID
 		epoch    uint64
+		bootLoad time.Duration
 	)
 	if *indexPath != "" {
 		t0 := time.Now()
@@ -71,8 +76,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		bootLoad = time.Since(t0)
 		fmt.Printf("arena snapshot loaded in %v (%d routes / %d transitions, epoch %d)\n",
-			time.Since(t0).Round(time.Millisecond), x.NumRoutes(), x.NumTransitions(), epoch)
+			bootLoad.Round(time.Millisecond), x.NumRoutes(), x.NumTransitions(), epoch)
 	} else {
 		ds, dg, dv, err := loadData(*snapshot, *csvDir, *gtfsDir, *preset, *scale, *synN)
 		if err != nil {
@@ -87,14 +93,21 @@ func main() {
 		fmt.Printf("indexes built in %v\n", time.Since(t0).Round(time.Millisecond))
 	}
 
-	engine := serve.New(x, serve.Options{
+	opts := serve.Options{
 		CacheSize:    *cacheSize,
 		MaxBatch:     *maxBatch,
 		Network:      g,
 		VertexOf:     vertexOf,
 		InitialEpoch: epoch,
-	})
+	}
+	if *slowlog > 0 {
+		opts.SlowLog = obs.NewSlowLog(*slowlog, *slowlogCap)
+	}
+	engine := serve.New(x, opts)
 	defer engine.Close()
+	if bootLoad > 0 {
+		engine.ObserveSnapshotLoad(bootLoad)
+	}
 
 	if *saveIndex != "" {
 		t0 := time.Now()
@@ -106,9 +119,13 @@ func main() {
 			*saveIndex, n, time.Since(t0).Round(time.Millisecond))
 	}
 
+	var srvOpts []server.Option
+	if *pprofOn {
+		srvOpts = append(srvOpts, server.WithPprof())
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine),
+		Handler:           server.New(engine, srvOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/index"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Method selects the RkNNT processing strategy.
@@ -84,6 +85,13 @@ type Options struct {
 	// sequential pass (candidates are independent and masks merge by
 	// OR); only wall-clock changes. It has no effect with GOMAXPROCS=1.
 	Parallel bool
+
+	// Trace, when non-nil, receives per-stage spans for this query:
+	// "filter" (FilterRoute + PruneTransition), one "prune/s<N>" span
+	// per TR-tree shard traversed, and "verify" (RefineCandidates).
+	// Purely observational — results are unaffected. Excluded from the
+	// serving layer's cache keys.
+	Trace *obs.Trace
 
 	// Ablation switches. Results are unaffected (the framework stays
 	// exact); only pruning power changes. They exist so the benchmark
@@ -166,7 +174,7 @@ func RkNNT(x *index.Index, query []geo.Point, opts Options) ([]model.TransitionI
 	case DivideConquer:
 		masks = divideConquer(x, query, opts.K, opts, stats)
 	case BruteForce:
-		masks = bruteForceMasks(x, query, opts.K, stats)
+		masks = bruteForceMasks(x, query, opts.K, opts, stats)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown method %d", int(opts.Method))
 	}
@@ -197,7 +205,7 @@ func EndpointMasks(x *index.Index, query []geo.Point, k int, method Method) (map
 	case DivideConquer:
 		masks = divideConquer(x, query, k, opts, stats)
 	case BruteForce:
-		masks = bruteForceMasks(x, query, k, stats)
+		masks = bruteForceMasks(x, query, k, opts, stats)
 	default:
 		return nil, fmt.Errorf("core: unknown method %d", int(method))
 	}

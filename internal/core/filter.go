@@ -4,11 +4,13 @@ import (
 	"container/heap"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/index"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -303,8 +305,10 @@ func pruneTransition(x *index.Index, query []geo.Point, fs *filterSet, k int, us
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
+				sp := startShardSpan(opts.Trace, s)
 				var sc pruneScratch
 				perShard[s] = pruneShard(shards[s], query, fs, k, useVoronoi, &sc)
+				sp.End()
 			}(s)
 		}
 		wg.Wait()
@@ -313,7 +317,9 @@ func pruneTransition(x *index.Index, query []geo.Point, fs *filterSet, k int, us
 			if tree.Len() == 0 {
 				continue
 			}
+			sp := startShardSpan(opts.Trace, s)
 			perShard[s] = pruneShard(tree, query, fs, k, useVoronoi, &fs.sc)
+			sp.End()
 		}
 	}
 	var cands []rtree.Entry
@@ -346,6 +352,16 @@ func pruneShard(tree *rtree.Tree, query []geo.Point, fs *filterSet, k int, useVo
 		}
 	}
 	return cands
+}
+
+// startShardSpan opens a "prune/s<N>" span for one TR-tree shard
+// traversal. The name is only built when a trace is attached, keeping
+// the untraced path allocation-free.
+func startShardSpan(tr *obs.Trace, shard int) obs.Span {
+	if tr == nil {
+		return obs.Span{}
+	}
+	return tr.StartSpan("prune/s" + strconv.Itoa(shard))
 }
 
 // parallelEnabled reports whether the query may fan work out across

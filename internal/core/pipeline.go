@@ -13,12 +13,16 @@ import (
 // FilterRoute -> PruneTransition -> RefineCandidates.
 func filterRefine(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts Options, stats *Stats) map[model.TransitionID]endpointMask {
 	start := time.Now()
+	sp := opts.Trace.StartSpan("filter")
 	fs, _ := filterRoute(x, query, k, useVoronoi, opts, stats)
 	cands := pruneTransition(x, query, fs, k, useVoronoi, opts, stats)
+	sp.End()
 	stats.Filter += time.Since(start)
 
 	start = time.Now()
+	sp = opts.Trace.StartSpan("verify")
 	masks := refineCandidates(x, query, cands, k, opts)
+	sp.End()
 	stats.Verify += time.Since(start)
 	return masks
 }
@@ -40,6 +44,7 @@ func filterRefine(x *index.Index, query []geo.Point, k int, useVoronoi bool, opt
 // exact verification against the full query keeps precisely the results.
 func divideConquer(x *index.Index, query []geo.Point, k int, opts Options, stats *Stats) map[model.TransitionID]endpointMask {
 	start := time.Now()
+	fsp := opts.Trace.StartSpan("filter")
 	type endpointKey struct {
 		id   model.TransitionID
 		role int32
@@ -65,10 +70,13 @@ func divideConquer(x *index.Index, query []geo.Point, k int, opts Options, stats
 		}
 	}
 	stats.Candidates = len(merged)
+	fsp.End()
 	stats.Filter += time.Since(start)
 
 	start = time.Now()
+	vsp := opts.Trace.StartSpan("verify")
 	masks := refineCandidates(x, query, merged, k, opts)
+	vsp.End()
 	stats.Verify += time.Since(start)
 	return masks
 }
@@ -76,8 +84,10 @@ func divideConquer(x *index.Index, query []geo.Point, k int, opts Options, stats
 // bruteForceMasks evaluates the definition directly: for every transition
 // endpoint, count the routes strictly closer than the query by linear
 // scan. Exact by construction; O(|DT| * total route points).
-func bruteForceMasks(x *index.Index, query []geo.Point, k int, stats *Stats) map[model.TransitionID]endpointMask {
+func bruteForceMasks(x *index.Index, query []geo.Point, k int, opts Options, stats *Stats) map[model.TransitionID]endpointMask {
 	start := time.Now()
+	sp := opts.Trace.StartSpan("verify")
+	defer sp.End()
 	masks := make(map[model.TransitionID]endpointMask)
 	x.Transitions(func(t *model.Transition) bool {
 		if bruteForceEndpoint(x, query, t.O, k) {

@@ -1,6 +1,10 @@
 package index
 
-import "repro/internal/model"
+import (
+	"time"
+
+	"repro/internal/model"
+)
 
 // Sliding-window expiry. Timed transitions are tracked in a binary
 // min-heap ordered by timestamp, pushed on every add; expiry pops the
@@ -61,6 +65,7 @@ func (h *timeHeap) pop() timedEntry {
 // MUST remove every one of them (the monitor does, to emit per-removal
 // events). Use ExpireTransitionsBefore for the remove-everything case.
 func (x *Index) DrainTimedBefore(cutoff int64) []model.TransitionID {
+	start := time.Now()
 	var victims []model.TransitionID
 	seen := map[model.TransitionID]bool{}
 	for len(x.expiry) > 0 && x.expiry[0].time < cutoff {
@@ -72,6 +77,8 @@ func (x *Index) DrainTimedBefore(cutoff int64) []model.TransitionID {
 		seen[e.id] = true
 		victims = append(victims, e.id)
 	}
+	x.observer.ExpirySweep.RecordDuration(time.Since(start))
+	x.observer.ExpirySwept.Add(uint64(len(victims)))
 	return victims
 }
 

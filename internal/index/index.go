@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/model"
@@ -54,6 +55,9 @@ type Index struct {
 	// expiry is a min-heap over timed transitions driving
 	// ExpireTransitionsBefore; see expiry.go.
 	expiry timeHeap
+
+	// observer holds the optional telemetry sinks; see observe.go.
+	observer Observer
 
 	// Legacy NList oracle (see nlist.go): a wholesale rebuild of the
 	// per-node route lists, kept behind a flag as a differential-test
@@ -391,7 +395,8 @@ func (x *Index) RemoveTransitionsBatch(ids []model.TransitionID) []bool {
 
 // applyPerShard runs op over every queued entry, shard by shard. Shards
 // are independent trees, so with more than one processor the per-shard
-// work runs in parallel goroutines.
+// work runs in parallel goroutines. Each busy shard's wall-clock is
+// reported to the observer's per-shard write histogram.
 func (x *Index) applyPerShard(perShard [][]rtree.Entry, op func(s int, e rtree.Entry)) {
 	busy := 0
 	for _, es := range perShard {
@@ -404,9 +409,10 @@ func (x *Index) applyPerShard(perShard [][]rtree.Entry, op func(s int, e rtree.E
 	}
 	if busy == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for s, es := range perShard {
-			for _, e := range es {
-				op(s, e)
+			if len(es) == 0 {
+				continue
 			}
+			x.applyShard(s, es, op)
 		}
 		return
 	}
@@ -418,10 +424,25 @@ func (x *Index) applyPerShard(perShard [][]rtree.Entry, op func(s int, e rtree.E
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			for _, e := range perShard[s] {
-				op(s, e)
-			}
+			x.applyShard(s, perShard[s], op)
 		}(s)
 	}
 	wg.Wait()
+}
+
+// applyShard runs op over one shard's queued entries, timing the pass
+// when the shard is observed.
+func (x *Index) applyShard(s int, es []rtree.Entry, op func(s int, e rtree.Entry)) {
+	h := x.shardWriteHist(s)
+	if h == nil {
+		for _, e := range es {
+			op(s, e)
+		}
+		return
+	}
+	start := time.Now()
+	for _, e := range es {
+		op(s, e)
+	}
+	h.RecordDuration(time.Since(start))
 }

@@ -1,0 +1,35 @@
+package index
+
+import (
+	"repro/internal/obs"
+)
+
+// Observer carries the index's optional telemetry sinks. All fields are
+// nil-safe obs instruments, so an Index with a zero Observer records
+// nothing and pays only a nil check per batched shard write. The serving
+// layer resolves per-shard histogram handles once at engine construction
+// (SetObserver), keeping label lookups off the write path.
+type Observer struct {
+	// ShardWrite[s] receives the wall-clock duration of shard s's part
+	// of each batched insert or delete. Shards beyond the slice (or a
+	// nil slice) are unobserved.
+	ShardWrite []*obs.Histogram
+	// ExpirySweep receives the duration of each DrainTimedBefore sweep.
+	ExpirySweep *obs.Histogram
+	// ExpirySwept counts transitions drained by expiry sweeps.
+	ExpirySwept *obs.Counter
+}
+
+// SetObserver installs the telemetry sinks. Call it under the same
+// single-writer discipline as any other index mutation; the instruments
+// themselves are safe for concurrent recording afterwards.
+func (x *Index) SetObserver(o Observer) { x.observer = o }
+
+// shardWriteHist returns the write-latency histogram for shard s, or nil
+// when unobserved.
+func (x *Index) shardWriteHist(s int) *obs.Histogram {
+	if s < len(x.observer.ShardWrite) {
+		return x.observer.ShardWrite[s]
+	}
+	return nil
+}

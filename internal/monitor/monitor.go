@@ -20,6 +20,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/index"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Event describes one change to a standing query's result set.
@@ -43,7 +44,30 @@ type Monitor struct {
 	x       *index.Index
 	nextID  QueryID
 	queries map[QueryID]*standing
+	metrics Metrics
 }
+
+// Metrics carries the monitor's optional event counters. All fields are
+// nil-safe obs counters, so a zero Metrics records nothing.
+type Metrics struct {
+	// StandingAdds / StandingRemoves count Register / successful
+	// Unregister calls.
+	StandingAdds    *obs.Counter
+	StandingRemoves *obs.Counter
+	// RankChecks counts endpoint rank probes (TakesQueryAsKNN calls)
+	// performed for arriving transitions — the monitor's incremental
+	// cost unit.
+	RankChecks *obs.Counter
+	// ResultAdds / ResultRemoves count transitions entering / leaving
+	// standing result sets.
+	ResultAdds    *obs.Counter
+	ResultRemoves *obs.Counter
+	// Recomputes counts full per-query recomputations (RouteChanged).
+	Recomputes *obs.Counter
+}
+
+// SetMetrics installs the event counters. Call before concurrent use.
+func (m *Monitor) SetMetrics(mt Metrics) { m.metrics = mt }
 
 type standing struct {
 	id      QueryID
@@ -84,6 +108,7 @@ func (m *Monitor) Register(query []geo.Point, k int, sem core.Semantics) (QueryI
 		}
 	}
 	m.queries[st.id] = st
+	m.metrics.StandingAdds.Inc()
 	return st.id, st.snapshot(), nil
 }
 
@@ -111,6 +136,7 @@ func (m *Monitor) Unregister(id QueryID) bool {
 		return false
 	}
 	delete(m.queries, id)
+	m.metrics.StandingRemoves.Inc()
 	return true
 }
 
@@ -147,6 +173,7 @@ func (m *Monitor) AddBatch(ts []model.Transition) ([]Event, []error) {
 		}
 		t := ts[i]
 		for _, st := range m.queries {
+			m.metrics.RankChecks.Add(2)
 			mask := uint8(0)
 			if core.TakesQueryAsKNN(m.x, st.query, t.O, st.k) {
 				mask |= 1
@@ -159,6 +186,7 @@ func (m *Monitor) AddBatch(ts []model.Transition) ([]Event, []error) {
 			}
 			if st.matches(mask) {
 				st.results[t.ID] = true
+				m.metrics.ResultAdds.Inc()
 				events = append(events, Event{Query: st.id, Transition: t.ID, Added: true})
 			}
 		}
@@ -189,6 +217,7 @@ func (m *Monitor) RemoveBatch(ids []model.TransitionID) ([]Event, []bool) {
 			delete(st.masks, id)
 			if st.results[id] {
 				delete(st.results, id)
+				m.metrics.ResultRemoves.Inc()
 				events = append(events, Event{Query: st.id, Transition: id, Added: false})
 			}
 		}
@@ -218,6 +247,7 @@ func (m *Monitor) RouteChanged() ([]Event, error) {
 	defer m.mu.Unlock()
 	var events []Event
 	for _, st := range m.queries {
+		m.metrics.Recomputes.Inc()
 		masks, err := core.EndpointMasks(m.x, st.query, st.k, core.DivideConquer)
 		if err != nil {
 			return nil, err

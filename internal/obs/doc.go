@@ -1,0 +1,31 @@
+// Package obs is the zero-dependency telemetry core shared by every
+// layer of the serving stack: atomic counters and gauges, a lock-free
+// log-bucketed latency histogram with mergeable snapshots, a metric
+// registry with hand-rolled Prometheus text exposition, a lightweight
+// per-query trace context (stage spans plus structured events), and a
+// threshold-sampled slow-query log.
+//
+// Design constraints, in order:
+//
+//  1. The record path must be cheap enough to leave on permanently.
+//     Counter.Add is one atomic add; Histogram.Record is two atomic
+//     adds plus a racing max update — no locks, no allocation, a few
+//     tens of nanoseconds (BenchmarkObsRecord enforces this). The
+//     instruments may therefore sit inside the engine's query and
+//     write hot paths without moving the mixed-workload benchmarks.
+//
+//  2. Instrumentation must be optional without branching at every call
+//     site. Counter, Gauge, Histogram and Trace methods are all
+//     nil-receiver-safe no-ops, so a layer that was handed no
+//     instruments simply records into nil.
+//
+//  3. Reads must never tear. Snapshots load each atomic cell once;
+//     totals previously accumulated under two different locks (cache
+//     counters vs. engine query totals) now live in one mechanism.
+//
+// Histograms bucket values on a log scale: 8 sub-buckets per octave,
+// giving quantile estimates within ~6% relative error over the full
+// uint64 range in 496 buckets (4 KiB) per histogram. Snapshots merge
+// by bucket-wise addition, so per-shard or per-process histograms
+// aggregate exactly.
+package obs

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing: values are placed on a log scale with 2^subBits
+// sub-buckets per octave (power of two). Values below 2^subBits get an
+// exact bucket each; above, the bucket index is the exponent paired
+// with the top subBits mantissa bits after the leading one. With
+// subBits = 3 the relative bucket width is at most 1/8, so a quantile
+// estimated at the bucket midpoint is within ~6.25% of the true value —
+// ample for latency monitoring — and the whole uint64 range fits in
+// 496 buckets (4 KiB of atomics per histogram).
+const (
+	subBits    = 3
+	subCount   = 1 << subBits
+	numBuckets = (64-subBits)<<subBits + subCount // max index 495 for v = 2^64-1
+)
+
+// bucketIndex maps a value to its bucket. Monotonic in v.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	h := bits.Len64(v) // >= subBits+1
+	shift := uint(h - 1 - subBits)
+	sub := (v >> shift) & (subCount - 1)
+	return (h-subBits)<<subBits + int(sub)
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	shift := uint(i>>subBits) - 1
+	sub := uint64(i & (subCount - 1))
+	return (subCount + sub) << shift
+}
+
+// Histogram is a lock-free log-bucketed histogram of uint64 values
+// (typically latencies in nanoseconds). Record never blocks: it is two
+// atomic adds plus a racing max update, cheap enough for query and
+// write hot paths. The zero value is ready to use; Record and
+// RecordDuration are nil-receiver-safe no-ops.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Record adds one observation of v.
+func (h *Histogram) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// RecordDuration records a duration in nanoseconds (negative durations
+// clamp to zero).
+func (h *Histogram) RecordDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Cells are
+// loaded individually, so a snapshot taken during concurrent records
+// may be off by in-flight observations but never tears a single cell.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{Sum: h.sum.Load(), Max: h.max.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.buckets[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram, mergeable and
+// queryable for quantiles.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	buckets [numBuckets]uint64
+}
+
+// Merge adds o's observations into s (max takes the larger).
+func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.buckets {
+		s.buckets[i] += o.buckets[i]
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// values: the midpoint of the bucket holding the rank-ceil(q*count)
+// observation (exact for values below 2^subBits, within the relative
+// bucket width otherwise). Returns 0 on an empty histogram; q = 1
+// returns the exact recorded maximum.
+func (s *HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for i, n := range s.buckets {
+		cum += n
+		if cum > rank {
+			if i < subCount {
+				return uint64(i) // exact bucket
+			}
+			lo := bucketLow(i)
+			shift := uint(i>>subBits) - 1
+			if shift == 0 {
+				return lo // width-1 bucket: exact
+			}
+			mid := lo + 1<<(shift-1) // lo + half the bucket width
+			if mid > s.Max {
+				return s.Max
+			}
+			return mid
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 if empty).
+// Unlike quantiles it is exact: the sum is accumulated, not bucketed.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// SummaryData is a rendered histogram summary for JSON stats payloads.
+// Values carry the unit implied by the scale passed to Summarize.
+type SummaryData struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summarize renders a histogram into count/mean/p50/p90/p99/max, each
+// value multiplied by scale (e.g. 1e-3 to render nanoseconds as
+// microseconds). Nil-receiver-safe: a nil histogram summarizes to zero.
+func Summarize(h *Histogram, scale float64) SummaryData {
+	if h == nil {
+		return SummaryData{}
+	}
+	s := h.Snapshot()
+	return SummaryData{
+		Count: s.Count,
+		Mean:  s.Mean() * scale,
+		P50:   float64(s.Quantile(0.5)) * scale,
+		P90:   float64(s.Quantile(0.9)) * scale,
+		P99:   float64(s.Quantile(0.99)) * scale,
+		Max:   float64(s.Max) * scale,
+	}
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// maxRelErr is the histogram's quantile error bound: buckets are 1/8
+// wide relative to their base, the estimate sits at the midpoint, so
+// the true value is within half a bucket width — 6.25% — plus rank
+// discretisation slack on small samples.
+const maxRelErr = 0.0626
+
+func TestBucketIndexMonotonicAndInverse(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 20, 1<<20 + 1, 1 << 40, 1<<64 - 1} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, i, prev)
+		}
+		if i >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range (%d buckets)", v, i, numBuckets)
+		}
+		if lo := bucketLow(i); lo > v {
+			t.Fatalf("bucketLow(%d) = %d > value %d", i, lo, v)
+		}
+		if i+1 < numBuckets {
+			if hi := bucketLow(i + 1); v >= hi {
+				t.Fatalf("value %d >= next bucket low %d (bucket %d)", v, hi, i)
+			}
+		}
+		prev = i
+	}
+	// Exhaustive small range: bucket must contain its value.
+	for v := uint64(0); v < 4096; v++ {
+		i := bucketIndex(v)
+		if bucketLow(i) > v || (i+1 < numBuckets && bucketLow(i+1) <= v) {
+			t.Fatalf("value %d misplaced in bucket %d [%d, %d)", v, i, bucketLow(i), bucketLow(i+1))
+		}
+	}
+}
+
+// TestQuantileVsOracle checks the histogram's quantile estimates
+// against a sorted-slice oracle over several value distributions.
+func TestQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() uint64{
+		"uniform": func() uint64 { return uint64(rng.Intn(1_000_000)) },
+		"exponential": func() uint64 {
+			return uint64(rng.ExpFloat64() * 50_000)
+		},
+		"bimodal": func() uint64 {
+			if rng.Intn(10) == 0 {
+				return 1_000_000 + uint64(rng.Intn(1_000_000))
+			}
+			return 1_000 + uint64(rng.Intn(1_000))
+		},
+		"small": func() uint64 { return uint64(rng.Intn(7)) },
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			h := NewHistogram()
+			values := make([]uint64, 20_000)
+			var sum uint64
+			for i := range values {
+				values[i] = draw()
+				sum += values[i]
+				h.Record(values[i])
+			}
+			sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+			s := h.Snapshot()
+			if s.Count != uint64(len(values)) {
+				t.Fatalf("count = %d, want %d", s.Count, len(values))
+			}
+			if s.Sum != sum {
+				t.Fatalf("sum = %d, want %d", s.Sum, sum)
+			}
+			if s.Max != values[len(values)-1] {
+				t.Fatalf("max = %d, want %d", s.Max, values[len(values)-1])
+			}
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+				got := s.Quantile(q)
+				rank := int(q * float64(len(values)))
+				if rank >= len(values) {
+					rank = len(values) - 1
+				}
+				want := values[rank]
+				if !within(got, want, maxRelErr) {
+					t.Errorf("q=%g: got %d, oracle %d (> %.2f%% off)",
+						q, got, want, maxRelErr*100)
+				}
+			}
+		})
+	}
+}
+
+// within reports whether got is within rel relative error of want,
+// treating values inside the same log bucket as equal.
+func within(got, want uint64, rel float64) bool {
+	if got == want {
+		return true
+	}
+	if bucketIndex(got) == bucketIndex(want) {
+		return true
+	}
+	hi := float64(want) * (1 + rel)
+	lo := float64(want) * (1 - rel)
+	return float64(got) >= lo && float64(got) <= hi
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram must report zero")
+	}
+	h.Record(42)
+	s = h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Fatalf("single-value histogram q=%g = %d, want 42", q, got)
+		}
+	}
+	if s.Quantile(-1) != 42 || s.Quantile(2) != 42 {
+		t.Fatal("out-of-range quantiles must clamp")
+	}
+}
+
+// TestMergeMatchesCombinedOracle merges two independently recorded
+// snapshots and checks the result equals a histogram over the union.
+func TestMergeMatchesCombinedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	var values []uint64
+	for i := 0; i < 10_000; i++ {
+		v := uint64(rng.Intn(1 << 20))
+		values = append(values, v)
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := all.Snapshot()
+	if *merged != *want {
+		t.Fatal("merged snapshot differs from union histogram")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := merged.Quantile(q)
+		oracle := values[int(q*float64(len(values)))]
+		if !within(got, oracle, maxRelErr) {
+			t.Errorf("merged q=%g: got %d, oracle %d", q, got, oracle)
+		}
+	}
+}
+
+// TestConcurrentRecord hammers one histogram from many goroutines and
+// verifies no observation is lost (run under -race in CI).
+func TestConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const workers = 8
+	const perWorker = 20_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.Record(uint64(rng.Intn(1 << 16)))
+			}
+		}(int64(w))
+	}
+	// Concurrent snapshots must not disturb recording.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot().Quantile(0.99)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Fatalf("lost observations: count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Trace
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Record(1)
+	h.RecordDuration(time.Second)
+	sp := tr.StartSpan("x")
+	sp.End()
+	tr.Event("y", 1)
+	if c.Load() != 0 || g.Load() != 0 || tr.Data() != nil {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if s := Summarize(h, 1); s.Count != 0 {
+		t.Fatal("nil histogram must summarize to zero")
+	}
+}
+
+// BenchmarkObsRecord proves the hot-path record cost: the acceptance
+// bar is well under 100ns/op so instrumentation cannot move the
+// engine's microsecond-scale serving benchmarks.
+func BenchmarkObsRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i) & 0xFFFFF)
+	}
+}
+
+// BenchmarkObsRecordParallel measures the contended case: all
+// goroutines hammering one histogram, the engine's worst case.
+func BenchmarkObsRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			h.Record(i & 0xFFFFF)
+		}
+	})
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := &Counter{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metric families and renders them in Prometheus
+// text exposition format. Families are registered once; registering a
+// name again with the same kind returns the existing family's
+// instrument, so independent layers can share a registry without
+// coordination. Registering a name with a different kind panics — that
+// is a wiring bug, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order; export sorts by name
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindSummary // Histogram exported as a Prometheus summary
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindSummary:
+		return "summary"
+	}
+	return "untyped"
+}
+
+// family is one metric family: a scalar instrument, or a labeled set of
+// instruments keyed by joined label values.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	factor float64  // summary export multiplier (ns -> s etc.)
+	labels []string // label names; nil for scalar families
+
+	mu     sync.Mutex
+	series map[string]*series // joined label values -> instrument
+	keys   []string           // insertion order of series
+
+	scalarCounter *Counter
+	scalarGauge   *Gauge
+	scalarHist    *Histogram
+	gaugeFn       func(emit func(labelValues []string, v float64))
+}
+
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%d labels (was %s/%d)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, factor: 1, labels: labels}
+	if labels != nil {
+		f.series = make(map[string]*series)
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter registers (or fetches) a scalar counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scalarCounter == nil {
+		f.scalarCounter = &Counter{}
+	}
+	return f.scalarCounter
+}
+
+// Gauge registers (or fetches) a scalar gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.scalarGauge == nil {
+		f.scalarGauge = &Gauge{}
+	}
+	return f.scalarGauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindGaugeFunc, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.gaugeFn == nil {
+		f.gaugeFn = func(emit func([]string, float64)) { emit(nil, fn()) }
+	}
+}
+
+// GaugeVecFunc registers a labeled gauge family whose series are
+// enumerated at scrape time: fn is called with an emit callback and
+// must produce one call per series, labelValues matching labels.
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, fn func(emit func(labelValues []string, v float64))) {
+	f := r.family(name, help, kindGaugeFunc, labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.gaugeFn == nil {
+		f.gaugeFn = fn
+	}
+}
+
+// Histogram registers (or fetches) a scalar histogram family, exported
+// as a Prometheus summary (quantile series + _sum + _count). Exported
+// values are multiplied by factor: record nanoseconds with factor 1e-9
+// to expose seconds, or plain magnitudes with factor 1.
+func (r *Registry) Histogram(name, help string, factor float64) *Histogram {
+	f := r.family(name, help, kindSummary, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.factor = factor
+	if f.scalarHist == nil {
+		f.scalarHist = NewHistogram()
+	}
+	return f.scalarHist
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, labels)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. The returned handle is lock-free; keep it rather than
+// calling With on a hot path.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	s := v.f.seriesFor(labelValues)
+	return s.counter
+}
+
+// HistogramVec is a labeled histogram family (exported as summaries).
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or fetches) a labeled histogram family. See
+// Histogram for factor semantics.
+func (r *Registry) HistogramVec(name, help string, factor float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{f: r.family(name, help, kindSummary, labels)}
+	v.f.mu.Lock()
+	v.f.factor = factor
+	v.f.mu.Unlock()
+	return v
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use. Keep the handle on hot paths.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	s := v.f.seriesFor(labelValues)
+	return s.hist
+}
+
+func (f *family) seriesFor(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), labelValues...)}
+		switch f.kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindSummary:
+			s.hist = NewHistogram()
+		}
+		f.series[key] = s
+		f.keys = append(f.keys, key)
+	}
+	return s
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), sorted by family name. Histograms are
+// exported as summaries: quantile 0.5/0.9/0.99 series, quantile 1 (the
+// exact max), _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		r.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch f.kind {
+	case kindCounter:
+		if f.labels == nil {
+			writeSample(b, f.name, nil, nil, "", float64(f.scalarCounter.Load()))
+			return
+		}
+		for _, key := range f.keys {
+			s := f.series[key]
+			writeSample(b, f.name, f.labels, s.labelValues, "", float64(s.counter.Load()))
+		}
+	case kindGauge:
+		if f.labels == nil {
+			writeSample(b, f.name, nil, nil, "", float64(f.scalarGauge.Load()))
+			return
+		}
+		for _, key := range f.keys {
+			s := f.series[key]
+			writeSample(b, f.name, f.labels, s.labelValues, "", float64(s.gauge.Load()))
+		}
+	case kindGaugeFunc:
+		if f.gaugeFn != nil {
+			f.gaugeFn(func(labelValues []string, v float64) {
+				writeSample(b, f.name, f.labels, labelValues, "", v)
+			})
+		}
+	case kindSummary:
+		if f.labels == nil {
+			writeSummary(b, f.name, nil, nil, f.scalarHist, f.factor)
+			return
+		}
+		for _, key := range f.keys {
+			s := f.series[key]
+			writeSummary(b, f.name, f.labels, s.labelValues, s.hist, f.factor)
+		}
+	}
+}
+
+func writeSummary(b *strings.Builder, name string, labels, labelValues []string, h *Histogram, factor float64) {
+	s := h.Snapshot()
+	for _, q := range [...]struct {
+		label string
+		v     uint64
+	}{
+		{"0.5", s.Quantile(0.5)},
+		{"0.9", s.Quantile(0.9)},
+		{"0.99", s.Quantile(0.99)},
+		{"1", s.Max},
+	} {
+		writeSample(b, name,
+			append(append([]string(nil), labels...), "quantile"),
+			append(append([]string(nil), labelValues...), q.label),
+			"", float64(q.v)*factor)
+	}
+	writeSample(b, name, labels, labelValues, "_sum", float64(s.Sum)*factor)
+	writeSample(b, name, labels, labelValues, "_count", float64(s.Count))
+}
+
+func writeSample(b *strings.Builder, name string, labels, labelValues []string, suffix string, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(labelValues[i]))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	b.WriteByte('\n')
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

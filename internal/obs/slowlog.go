@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLog is a bounded ring of slow-operation records: operations whose
+// total duration met a threshold get their rendered trace kept for
+// inspection. The ring holds the most recent entries; Total counts
+// every recorded entry ever, so a scraper can tell whether the ring
+// wrapped.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu      sync.Mutex
+	entries []SlowEntry // ring buffer
+	next    int         // next write position
+	filled  bool
+	total   uint64
+}
+
+// SlowEntry is one slow-operation record.
+type SlowEntry struct {
+	UnixMicros int64      `json:"unix_micros"` // completion wall-clock time
+	DurMicros  int64      `json:"dur_micros"`
+	Detail     string     `json:"detail,omitempty"` // operation description, e.g. "rknnt k=8 pts=4"
+	Trace      *TraceData `json:"trace,omitempty"`
+}
+
+// NewSlowLog returns a slow log keeping the last capacity entries of
+// operations at or above threshold. Capacity below 1 defaults to 64.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 64
+	}
+	return &SlowLog{threshold: threshold, entries: make([]SlowEntry, capacity)}
+}
+
+// Threshold returns the configured slowness threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Add records an entry (the caller has already applied the threshold;
+// Add never filters).
+func (l *SlowLog) Add(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries[l.next] = e
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.filled = true
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total returns how many entries were ever recorded (including ones the
+// ring has since overwritten).
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained entries, most recent first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = len(l.entries)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		// Walk backwards from the slot before next, wrapping.
+		idx := (l.next - i + len(l.entries)) % len(l.entries)
+		out = append(out, l.entries[idx])
+	}
+	return out
+}

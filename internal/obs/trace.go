@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight per-query trace: named stage spans with start
+// offsets and durations, plus point-in-time structured events. A nil
+// *Trace is a valid "tracing off" value — StartSpan, Event and Data are
+// all nil-receiver-safe no-ops — so instrumented code threads a trace
+// unconditionally and pays nothing when none was requested.
+//
+// Spans may be recorded from concurrent goroutines (the per-shard prune
+// fan-out does); the trace serialises appends internally. Spans are
+// stored in end order; their start offsets reconstruct the timeline.
+type Trace struct {
+	start time.Time
+
+	mu     sync.Mutex
+	spans  []SpanData
+	events []EventData
+}
+
+// SpanData is one completed stage span, offsets relative to the trace
+// start.
+type SpanData struct {
+	Name        string `json:"name"`
+	StartMicros int64  `json:"start_micros"`
+	DurMicros   int64  `json:"dur_micros"`
+}
+
+// EventData is one structured point event with an optional magnitude
+// (a count, a size — semantics per event name).
+type EventData struct {
+	Name     string `json:"name"`
+	AtMicros int64  `json:"at_micros"`
+	Value    int64  `json:"value,omitempty"`
+}
+
+// TraceData is the rendered, immutable form of a trace for JSON
+// responses and the slow-query log.
+type TraceData struct {
+	DurMicros int64       `json:"dur_micros"`
+	Spans     []SpanData  `json:"spans"`
+	Events    []EventData `json:"events,omitempty"`
+}
+
+// NewTrace starts a trace now.
+func NewTrace() *Trace { return NewTraceAt(time.Now()) }
+
+// NewTraceAt starts a trace at an earlier instant — used when the
+// decision to trace is made after the measured work began (the engine's
+// slow-query sampling starts the trace at request arrival).
+func NewTraceAt(start time.Time) *Trace { return &Trace{start: start} }
+
+// Span is an in-flight stage span handle; call End to record it. The
+// zero Span (from a nil trace) is a no-op.
+type Span struct {
+	t    *Trace
+	name string
+	t0   time.Time
+}
+
+// StartSpan opens a named stage span.
+func (t *Trace) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, t0: time.Now()}
+}
+
+// End records the span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.t0)
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, SpanData{
+		Name:        s.name,
+		StartMicros: s.t0.Sub(s.t.start).Microseconds(),
+		DurMicros:   d.Microseconds(),
+	})
+	s.t.mu.Unlock()
+}
+
+// Event records a structured point event.
+func (t *Trace) Event(name string, value int64) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.start).Microseconds()
+	t.mu.Lock()
+	t.events = append(t.events, EventData{Name: name, AtMicros: at, Value: value})
+	t.mu.Unlock()
+}
+
+// Data renders the trace. The returned TraceData is a snapshot: spans
+// recorded afterwards are not reflected. Nil-receiver-safe (returns
+// nil).
+func (t *Trace) Data() *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &TraceData{
+		DurMicros: time.Since(t.start).Microseconds(),
+		Spans:     append([]SpanData(nil), t.spans...),
+		Events:    append([]EventData(nil), t.events...),
+	}
+}

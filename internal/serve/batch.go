@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/monitor"
@@ -26,6 +27,7 @@ type writeOp struct {
 	t      model.Transition // opAddTransition
 	id     model.TransitionID
 	cutoff int64
+	enq    time.Time // submission time, for the queue-wait histogram
 	done   chan opResult
 }
 
@@ -88,6 +90,10 @@ func (e *Engine) drainClosed() {
 // deltas in commit order (an out-of-order add/remove pair would corrupt
 // their incremental result sets with no resync to save them).
 func (e *Engine) applyBatch(batch []writeOp) {
+	start := time.Now()
+	for i := range batch {
+		e.mx.queueWait.RecordDuration(start.Sub(batch[i].enq))
+	}
 	results := make([]opResult, len(batch))
 	var events []monitor.Event
 	// Net cache-repair delta, built in op order so an add followed by a
@@ -150,8 +156,9 @@ func (e *Engine) applyBatch(batch []writeOp) {
 	e.broadcast(events)
 	e.mu.Unlock()
 
-	e.batches.Add(1)
-	e.batchedOps.Add(uint64(len(batch)))
+	e.mx.commit.RecordDuration(time.Since(start))
+	e.mx.batches.Inc()
+	e.mx.batchedOps.Add(uint64(len(batch)))
 	for i := range batch {
 		batch[i].done <- results[i]
 	}
@@ -163,6 +170,7 @@ func (e *Engine) applyBatch(batch []writeOp) {
 // before signalling quit, which waits out any in-flight send.
 func (e *Engine) submit(op writeOp) opResult {
 	op.done = make(chan opResult, 1)
+	op.enq = time.Now()
 	e.closeMu.RLock()
 	if e.closed {
 		e.closeMu.RUnlock()
@@ -187,9 +195,11 @@ func (e *Engine) submitMany(n int, mk func(i int) writeOp) []opResult {
 		}
 		return results
 	}
+	enq := time.Now()
 	for i := 0; i < n; i++ {
 		op := mk(i)
 		op.done = make(chan opResult, 1)
+		op.enq = enq
 		done[i] = op.done
 		e.writeCh <- op
 	}

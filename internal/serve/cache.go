@@ -3,18 +3,25 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // lruCache is a fixed-capacity LRU cache for query results. It is safe
 // for concurrent use. Values are treated as immutable once inserted;
 // callers must not modify what Get returns.
+//
+// Hit/miss counters are injected obs atomics rather than fields under
+// the cache mutex: stats snapshots read them lock-free alongside the
+// engine's other counters, so a snapshot can no longer tear between
+// values guarded by different locks.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits, misses uint64
+	hits, misses *obs.Counter
 }
 
 type lruEntry struct {
@@ -22,11 +29,13 @@ type lruEntry struct {
 	val any
 }
 
-func newLRUCache(capacity int) *lruCache {
+func newLRUCache(capacity int, hits, misses *obs.Counter) *lruCache {
 	return &lruCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:    capacity,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element, capacity),
+		hits:   hits,
+		misses: misses,
 	}
 }
 
@@ -37,10 +46,10 @@ func (c *lruCache) Get(key string) (any, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }
@@ -101,7 +110,5 @@ func (c *lruCache) Len() int {
 
 // Counters returns the cumulative hit and miss counts.
 func (c *lruCache) Counters() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }

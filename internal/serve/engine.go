@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/model"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 )
 
 // Options configures an Engine.
@@ -38,6 +40,12 @@ type Options struct {
 	// the epoch stored in the snapshot (see ReadSnapshot) so the version
 	// sequence stays monotonic across restarts; cold starts leave it 0.
 	InitialEpoch uint64
+
+	// SlowLog, when non-nil, samples executed queries whose end-to-end
+	// latency meets its threshold: each gets a per-stage trace recorded
+	// from request arrival and kept in the log's ring. Nil disables
+	// sampling at zero cost.
+	SlowLog *obs.SlowLog
 }
 
 func (o *Options) fill() {
@@ -75,14 +83,10 @@ type Engine struct {
 	closeMu  sync.RWMutex
 	closed   bool
 
-	batches      atomic.Uint64
-	batchedOps   atomic.Uint64
-	cacheRepairs atomic.Uint64
-	dedupHits    atomic.Uint64
-	dropped      atomic.Uint64
-	queriesRun   atomic.Uint64
-	statMu       sync.Mutex
-	queryTotals  core.Stats // cumulative pruning counters of executed queries
+	// mx holds every serving counter and latency histogram; see
+	// metrics.go. slow is the optional slow-query log (nil = off).
+	mx   *engineMetrics
+	slow *obs.SlowLog
 
 	subMu   sync.Mutex
 	subs    map[int]*subscriber
@@ -102,16 +106,35 @@ func New(idx *index.Index, opts Options) *Engine {
 		opts:    opts,
 		idx:     idx,
 		mon:     monitor.New(idx),
-		cache:   newLRUCache(opts.CacheSize),
+		slow:    opts.SlowLog,
 		writeCh: make(chan writeOp, opts.QueueDepth),
 		quit:    make(chan struct{}),
 		subs:    make(map[int]*subscriber),
 		plans:   make(map[plannerKey]*plannerEntry),
 	}
+	e.mx = newEngineMetrics(e, idx.NumTransitionShards())
+	e.cache = newLRUCache(opts.CacheSize, e.mx.cacheHits, e.mx.cacheMisses)
+	idx.SetObserver(e.mx.observer())
+	e.mon.SetMetrics(e.mx.mon)
 	e.epoch.Store(opts.InitialEpoch)
 	e.wg.Add(1)
 	go e.writer()
 	return e
+}
+
+// Metrics returns the engine's metric registry. The serving layer adds
+// its own HTTP families to the same registry, so one scrape covers the
+// whole process.
+func (e *Engine) Metrics() *obs.Registry { return e.mx.reg }
+
+// SlowLog returns the slow-query log, or nil when sampling is off.
+func (e *Engine) SlowLog() *obs.SlowLog { return e.slow }
+
+// ObserveSnapshotLoad records how long loading the boot snapshot took.
+// The load happens before the engine exists, so the loader reports it
+// after construction.
+func (e *Engine) ObserveSnapshotLoad(d time.Duration) {
+	e.mx.snapshotLoad.RecordDuration(d)
 }
 
 // Close stops the writer goroutine. Pending writes fail with ErrClosed;
@@ -164,16 +187,30 @@ type cachedQuery struct {
 // key because it cannot change the result.
 func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, error) {
 	opts.Parallel = true
+	t0 := time.Now()
 	epoch := e.epoch.Load()
+	csp := opts.Trace.StartSpan("cache")
 	key := queryKey(query, opts)
-	if v, ok := e.cache.Get(key); ok {
+	v, ok := e.cache.Get(key)
+	csp.End()
+	if ok {
 		res := v.(*cachedQuery).res
 		// An entry left behind by a stale in-flight Put misses here and
 		// is overwritten by the recompute (and evicted by the next
 		// repair walk, whichever comes first).
 		if res.Epoch == epoch {
+			opts.Trace.Event("cache_hit", int64(res.Epoch))
+			e.mx.queryLatency.RecordDuration(time.Since(t0))
 			return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Cached: true, Epoch: res.Epoch}, nil
 		}
+		opts.Trace.Event("cache_stale", int64(res.Epoch))
+	}
+	// Slow-query sampling: when no caller trace is attached, record one
+	// speculatively from request arrival; it is kept only if the query
+	// turns out slow.
+	exOpts := opts
+	if exOpts.Trace == nil && e.slow != nil {
+		exOpts.Trace = obs.NewTraceAt(t0)
 	}
 	// The flight key carries the epoch so a query never adopts a result
 	// computed over an older snapshot.
@@ -184,38 +221,52 @@ func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, erro
 			// read-locked (which would wedge the write path for good).
 			e.mu.RLock()
 			defer e.mu.RUnlock()
-			return core.RkNNT(e.idx, query, opts)
+			return core.RkNNT(e.idx, query, exOpts)
 		}()
 		if err != nil {
 			return nil, err
 		}
-		e.queriesRun.Add(1)
-		e.statMu.Lock()
-		e.queryTotals.Filter += stats.Filter
-		e.queryTotals.Verify += stats.Verify
-		e.queryTotals.FilterPoints += stats.FilterPoints
-		e.queryTotals.FilterRoutes += stats.FilterRoutes
-		e.queryTotals.RefineNodes += stats.RefineNodes
-		e.queryTotals.Candidates += stats.Candidates
-		e.queryTotals.Results += stats.Results
-		e.statMu.Unlock()
+		e.mx.addQueryTotals(stats)
 		res := &QueryResult{Transitions: ids, Stats: *stats, Epoch: epoch}
+		// Cached entries must not retain the finished trace: repairs
+		// reuse the stored options for rank checks only.
+		copts := exOpts
+		copts.Trace = nil
 		e.cache.Put(key, &cachedQuery{
 			res:   res,
 			query: append([]geo.Point(nil), query...),
-			opts:  opts,
+			opts:  copts,
 		})
+		if e.slow != nil {
+			if d := time.Since(t0); d >= e.slow.Threshold() {
+				e.slow.Add(obs.SlowEntry{
+					UnixMicros: time.Now().UnixMicro(),
+					DurMicros:  d.Microseconds(),
+					Detail:     slowDetail(query, exOpts),
+					Trace:      exOpts.Trace.Data(),
+				})
+			}
+		}
 		return res, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	e.mx.queryLatency.RecordDuration(time.Since(t0))
 	if shared {
-		e.dedupHits.Add(1)
+		e.mx.dedupHits.Inc()
+		// The sharer's own trace (if any) saw no execution; mark why.
+		opts.Trace.Event("inflight_shared", 0)
 		res := v.(*QueryResult)
 		return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Shared: true, Epoch: res.Epoch}, nil
 	}
 	return v.(*QueryResult), nil
+}
+
+// slowDetail renders the one-line description stored with slow-log
+// entries.
+func slowDetail(query []geo.Point, opts core.Options) string {
+	return fmt.Sprintf("rknnt method=%s sem=%s k=%d pts=%d", opts.Method, opts.Semantics, opts.K, len(query))
 }
 
 // KNNRoutes returns the k routes nearest to p, nearest first.
@@ -347,6 +398,7 @@ func (e *Engine) routesChangedLocked(changed int) error {
 	events, err := e.mon.RouteChanged()
 	e.epoch.Add(1)
 	e.cache.Purge()
+	e.mx.cachePurges.Inc()
 	e.broadcast(events)
 	return err
 }
@@ -380,6 +432,9 @@ func (e *Engine) NumTransitions() int {
 }
 
 // Stats is a point-in-time snapshot of the engine's serving counters.
+// Every counter is an atomic read — no mutex pairs a snapshot together,
+// so no field can tear against another (they may be skewed by writes
+// racing the snapshot, which is inherent to lock-free counters).
 type Stats struct {
 	Epoch       uint64 `json:"epoch"`
 	Routes      int    `json:"routes"`
@@ -394,6 +449,7 @@ type Stats struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheRepairs uint64 `json:"cache_repairs"` // entries repaired forward by write batches
+	CachePurges  uint64 `json:"cache_purges"`
 	InflightDups uint64 `json:"inflight_dups"`
 
 	Batches       uint64 `json:"batches"`
@@ -401,6 +457,7 @@ type Stats struct {
 	QueriesRun    uint64 `json:"queries_run"`
 	Standing      int64  `json:"standing_queries"`
 	DroppedEvents uint64 `json:"dropped_events"`
+	SlowQueries   uint64 `json:"slow_queries"`
 
 	// Cumulative core pruning counters over executed (uncached) queries.
 	FilterMicros int64 `json:"filter_micros"`
@@ -410,18 +467,54 @@ type Stats struct {
 	RefineNodes  int   `json:"refine_nodes"`
 	Candidates   int   `json:"candidates"`
 	Results      int   `json:"results"`
+
+	// Latency summaries, microseconds. Query covers every engine RkNNT
+	// call (cache hits included); Filter/Verify cover executed queries'
+	// core stages; QueueWait and Commit cover the write pipeline.
+	QueryLatency  obs.SummaryData `json:"query_latency_micros"`
+	FilterLatency obs.SummaryData `json:"filter_latency_micros"`
+	VerifyLatency obs.SummaryData `json:"verify_latency_micros"`
+	QueueWait     obs.SummaryData `json:"write_queue_wait_micros"`
+	Commit        obs.SummaryData `json:"write_commit_micros"`
+
+	// ShardWrites[s] summarises shard s's portion of batched writes.
+	ShardWrites []obs.SummaryData `json:"shard_write_micros"`
+
+	ExpirySweep  obs.SummaryData `json:"expiry_sweep_micros"`
+	Expired      uint64          `json:"expired_transitions"`
+	SnapshotSave obs.SummaryData `json:"snapshot_save_micros"`
+	SnapshotLoad obs.SummaryData `json:"snapshot_load_micros"`
+
+	Monitor MonitorStats `json:"monitor"`
 }
+
+// MonitorStats surfaces the standing-query maintenance counters.
+type MonitorStats struct {
+	Adds          uint64 `json:"adds"`
+	Removes       uint64 `json:"removes"`
+	RankChecks    uint64 `json:"rank_checks"`
+	ResultAdds    uint64 `json:"result_adds"`
+	ResultRemoves uint64 `json:"result_removes"`
+	Recomputes    uint64 `json:"recomputes"`
+}
+
+// micros is the Summarize scale turning recorded nanoseconds into
+// microsecond summaries for /v1/stats.
+const micros = 1e-3
 
 // EngineStats returns the current serving counters.
 func (e *Engine) EngineStats() Stats {
-	hits, misses := e.cache.Counters()
-	e.statMu.Lock()
-	q := e.queryTotals
-	e.statMu.Unlock()
+	m := e.mx
 	e.mu.RLock()
 	shards := e.idx.NumTransitionShards()
 	shardSizes := e.idx.TransitionShardSizes()
 	e.mu.RUnlock()
+	shardWrites := make([]obs.SummaryData, len(m.shardWrite))
+	for s, h := range m.shardWrite {
+		shardWrites[s] = obs.Summarize(h, micros)
+	}
+	filterSum := m.filterLatency.Snapshot()
+	verifySum := m.verifyLatency.Snapshot()
 	return Stats{
 		Epoch:         e.epoch.Load(),
 		Routes:        e.NumRoutes(),
@@ -429,22 +522,42 @@ func (e *Engine) EngineStats() Stats {
 		Shards:        shards,
 		ShardSizes:    shardSizes,
 		CacheEntries:  e.cache.Len(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheRepairs:  e.cacheRepairs.Load(),
-		InflightDups:  e.dedupHits.Load(),
-		Batches:       e.batches.Load(),
-		BatchedOps:    e.batchedOps.Load(),
-		QueriesRun:    e.queriesRun.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		CacheMisses:   m.cacheMisses.Load(),
+		CacheRepairs:  m.cacheRepairs.Load(),
+		CachePurges:   m.cachePurges.Load(),
+		InflightDups:  m.dedupHits.Load(),
+		Batches:       m.batches.Load(),
+		BatchedOps:    m.batchedOps.Load(),
+		QueriesRun:    m.queriesRun.Load(),
 		Standing:      e.standing.Load(),
-		DroppedEvents: e.dropped.Load(),
-		FilterMicros:  q.Filter.Microseconds(),
-		VerifyMicros:  q.Verify.Microseconds(),
-		FilterPoints:  q.FilterPoints,
-		FilterRoutes:  q.FilterRoutes,
-		RefineNodes:   q.RefineNodes,
-		Candidates:    q.Candidates,
-		Results:       q.Results,
+		DroppedEvents: m.dropped.Load(),
+		SlowQueries:   e.slow.Total(),
+		FilterMicros:  int64(filterSum.Sum / 1000),
+		VerifyMicros:  int64(verifySum.Sum / 1000),
+		FilterPoints:  int(m.filterPoints.Load()),
+		FilterRoutes:  int(m.filterRoutes.Load()),
+		RefineNodes:   int(m.refineNodes.Load()),
+		Candidates:    int(m.candidates.Load()),
+		Results:       int(m.results.Load()),
+		QueryLatency:  obs.Summarize(m.queryLatency, micros),
+		FilterLatency: obs.Summarize(m.filterLatency, micros),
+		VerifyLatency: obs.Summarize(m.verifyLatency, micros),
+		QueueWait:     obs.Summarize(m.queueWait, micros),
+		Commit:        obs.Summarize(m.commit, micros),
+		ShardWrites:   shardWrites,
+		ExpirySweep:   obs.Summarize(m.expirySweep, micros),
+		Expired:       m.expirySwept.Load(),
+		SnapshotSave:  obs.Summarize(m.snapshotSave, micros),
+		SnapshotLoad:  obs.Summarize(m.snapshotLoad, micros),
+		Monitor: MonitorStats{
+			Adds:          m.mon.StandingAdds.Load(),
+			Removes:       m.mon.StandingRemoves.Load(),
+			RankChecks:    m.mon.RankChecks.Load(),
+			ResultAdds:    m.mon.ResultAdds.Load(),
+			ResultRemoves: m.mon.ResultRemoves.Load(),
+			Recomputes:    m.mon.Recomputes.Load(),
+		},
 	}
 }
 

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/monitor"
+	"repro/internal/obs"
+)
+
+// engineMetrics bundles every serving-layer instrument over one shared
+// obs.Registry. All hot-path handles (histograms, counters) are resolved
+// once at engine construction so the record path never touches the
+// registry's maps. Gauge families are scrape-time functions reading the
+// engine directly; they take the engine's read lock and therefore
+// observe committed state only.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	// Query path.
+	queryLatency  *obs.Histogram // end-to-end RkNNT wall clock, hits included
+	filterLatency *obs.Histogram // executed queries: core filtering stage
+	verifyLatency *obs.Histogram // executed queries: core verification stage
+	queriesRun    *obs.Counter
+
+	// Result cache + in-flight dedup.
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheRepairs *obs.Counter
+	cachePurges  *obs.Counter
+	dedupHits    *obs.Counter
+
+	// Write pipeline.
+	batches    *obs.Counter
+	batchedOps *obs.Counter
+	queueWait  *obs.Histogram // submit -> batch application start
+	commit     *obs.Histogram // write-lock critical section per batch
+	shardWrite []*obs.Histogram
+
+	// Expiry + snapshots.
+	expirySweep  *obs.Histogram
+	expirySwept  *obs.Counter
+	snapshotSave *obs.Histogram
+	snapshotLoad *obs.Histogram
+
+	// Standing queries.
+	dropped *obs.Counter
+	mon     monitor.Metrics
+
+	// Cumulative core pruning totals over executed queries. These used
+	// to live in a mutex-guarded core.Stats next to lock-free counters,
+	// so a stats snapshot could tear across the two; as plain atomics
+	// every read is a consistent point-in-time value.
+	filterPoints *obs.Counter
+	filterRoutes *obs.Counter
+	refineNodes  *obs.Counter
+	candidates   *obs.Counter
+	results      *obs.Counter
+}
+
+const nanos = 1e-9 // histograms record nanoseconds; export seconds
+
+// newEngineMetrics registers the serving-layer families and resolves the
+// hot-path handles. shards is the TR-tree shard count, fixed for the
+// engine's lifetime.
+func newEngineMetrics(e *Engine, shards int) *engineMetrics {
+	reg := obs.NewRegistry()
+	m := &engineMetrics{
+		reg: reg,
+
+		queryLatency:  reg.Histogram("rknnt_query_seconds", "End-to-end RkNNT query latency through the engine, cache hits included.", nanos),
+		filterLatency: reg.Histogram("rknnt_query_filter_seconds", "Core filtering stage latency of executed (uncached) RkNNT queries.", nanos),
+		verifyLatency: reg.Histogram("rknnt_query_verify_seconds", "Core verification stage latency of executed (uncached) RkNNT queries.", nanos),
+		queriesRun:    reg.Counter("rknnt_queries_executed_total", "RkNNT queries executed against the index (cache misses)."),
+
+		cacheHits:    reg.Counter("rknnt_cache_hits_total", "Result-cache hits at the current epoch."),
+		cacheMisses:  reg.Counter("rknnt_cache_misses_total", "Result-cache misses."),
+		cacheRepairs: reg.Counter("rknnt_cache_repairs_total", "Cached results repaired forward by committed write batches."),
+		cachePurges:  reg.Counter("rknnt_cache_purges_total", "Full result-cache purges (route changes, oversized deltas)."),
+		dedupHits:    reg.Counter("rknnt_inflight_dedup_total", "Queries served by sharing an identical in-flight execution."),
+
+		batches:    reg.Counter("rknnt_write_batches_total", "Committed coalesced write batches."),
+		batchedOps: reg.Counter("rknnt_write_ops_total", "Write operations committed via batches."),
+		queueWait:  reg.Histogram("rknnt_write_queue_wait_seconds", "Time write ops spend queued before their batch starts applying.", nanos),
+		commit:     reg.Histogram("rknnt_write_commit_seconds", "Write-lock critical section duration per committed batch.", nanos),
+
+		expirySweep:  reg.Histogram("rknnt_expiry_sweep_seconds", "Duration of sliding-window expiry sweeps over the time heap.", nanos),
+		expirySwept:  reg.Counter("rknnt_expired_transitions_total", "Transitions drained by expiry sweeps."),
+		snapshotSave: reg.Histogram("rknnt_snapshot_save_seconds", "Engine snapshot serialisation duration.", nanos),
+		snapshotLoad: reg.Histogram("rknnt_snapshot_load_seconds", "Engine snapshot load duration at warm boot.", nanos),
+
+		dropped: reg.Counter("rknnt_dropped_events_total", "Standing-query deltas dropped on full subscriber buffers."),
+		mon: monitor.Metrics{
+			StandingAdds:    reg.Counter("rknnt_standing_adds_total", "Standing queries registered."),
+			StandingRemoves: reg.Counter("rknnt_standing_removes_total", "Standing queries unregistered."),
+			RankChecks:      reg.Counter("rknnt_rank_checks_total", "Endpoint rank probes for arriving transitions (incremental maintenance cost)."),
+			ResultAdds:      reg.Counter("rknnt_standing_result_adds_total", "Transitions entering standing result sets."),
+			ResultRemoves:   reg.Counter("rknnt_standing_result_removes_total", "Transitions leaving standing result sets."),
+			Recomputes:      reg.Counter("rknnt_standing_recomputes_total", "Full standing-query recomputations after route changes."),
+		},
+
+		filterPoints: reg.Counter("rknnt_filter_points_total", "Filtering points used across executed queries."),
+		filterRoutes: reg.Counter("rknnt_filter_routes_total", "Distinct filtering routes across executed queries."),
+		refineNodes:  reg.Counter("rknnt_refine_nodes_total", "RR-tree nodes pruned into refinement sets across executed queries."),
+		candidates:   reg.Counter("rknnt_candidates_total", "Candidate endpoints surviving filtering across executed queries."),
+		results:      reg.Counter("rknnt_results_total", "Transitions returned across executed queries."),
+	}
+
+	sw := reg.HistogramVec("rknnt_shard_write_seconds", "Per-shard portion of committed batched index writes.", nanos, "shard")
+	m.shardWrite = make([]*obs.Histogram, shards)
+	for s := range m.shardWrite {
+		m.shardWrite[s] = sw.With(strconv.Itoa(s))
+	}
+
+	reg.GaugeFunc("rknnt_epoch", "Current index version; advances per committed batch and route change.", func() float64 {
+		return float64(e.epoch.Load())
+	})
+	reg.GaugeFunc("rknnt_routes", "Indexed routes.", func() float64 {
+		return float64(e.NumRoutes())
+	})
+	reg.GaugeFunc("rknnt_transitions", "Indexed transitions.", func() float64 {
+		return float64(e.NumTransitions())
+	})
+	reg.GaugeFunc("rknnt_cache_entries", "Live result-cache entries.", func() float64 {
+		return float64(e.cache.Len())
+	})
+	reg.GaugeFunc("rknnt_standing_queries", "Registered standing queries.", func() float64 {
+		return float64(e.standing.Load())
+	})
+	reg.GaugeFunc("rknnt_slow_queries", "Queries recorded by the slow-query log since start.", func() float64 {
+		return float64(e.slow.Total())
+	})
+	reg.GaugeVecFunc("rknnt_shard_points", "Indexed transition endpoints per TR-tree shard (occupancy).", []string{"shard"}, func(emit func([]string, float64)) {
+		e.mu.RLock()
+		sizes := e.idx.TransitionShardSizes()
+		e.mu.RUnlock()
+		for s, n := range sizes {
+			emit([]string{strconv.Itoa(s)}, float64(n))
+		}
+	})
+	return m
+}
+
+// observer builds the index-level telemetry sinks backed by this
+// metrics set.
+func (m *engineMetrics) observer() index.Observer {
+	return index.Observer{
+		ShardWrite:  m.shardWrite,
+		ExpirySweep: m.expirySweep,
+		ExpirySwept: m.expirySwept,
+	}
+}
+
+// addQueryTotals folds one executed query's core stats into the
+// cumulative counters and stage histograms.
+func (m *engineMetrics) addQueryTotals(s *core.Stats) {
+	m.filterLatency.RecordDuration(s.Filter)
+	m.verifyLatency.RecordDuration(s.Verify)
+	m.filterPoints.Add(uint64(s.FilterPoints))
+	m.filterRoutes.Add(uint64(s.FilterRoutes))
+	m.refineNodes.Add(uint64(s.RefineNodes))
+	m.candidates.Add(uint64(s.Candidates))
+	m.results.Add(uint64(s.Results))
+	m.queriesRun.Inc()
+}

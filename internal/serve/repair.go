@@ -62,6 +62,7 @@ func (d *batchDelta) remove(id model.TransitionID) {
 func (e *Engine) repairCacheLocked(newEpoch uint64, delta *batchDelta) {
 	if len(delta.added)*e.cache.Len() > repairAddBudget {
 		e.cache.Purge()
+		e.mx.cachePurges.Inc()
 		return
 	}
 	oldEpoch := newEpoch - 1
@@ -125,7 +126,7 @@ func (e *Engine) repairCacheLocked(newEpoch uint64, delta *batchDelta) {
 			opts:  ent.opts,
 		}
 	})
-	e.cacheRepairs.Add(uint64(repaired))
+	e.mx.cacheRepairs.Add(uint64(repaired))
 }
 
 // inWindow replicates core's temporal-window filter for one transition.

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/dataio"
 	"repro/internal/graph"
@@ -30,6 +31,8 @@ const SecEpoch = "srvepoch"
 // queries proceed, writes wait for the serialization to finish (the
 // arenas are dumped verbatim, so this is a memory copy, not a rebuild).
 func (e *Engine) WriteSnapshot(w io.Writer) error {
+	start := time.Now()
+	defer func() { e.mx.snapshotSave.RecordDuration(time.Since(start)) }()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	sw := dataio.NewSectionWriter(w)

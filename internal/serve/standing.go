@@ -117,7 +117,7 @@ func (e *Engine) broadcast(events []monitor.Event) {
 			case sub.ch <- ev:
 			default:
 				sub.dropped = true
-				e.dropped.Add(1)
+				e.mx.dropped.Inc()
 			}
 		}
 	}

@@ -3,35 +3,58 @@ package server
 import (
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// endpointStat accumulates one endpoint's serving counters.
-type endpointStat struct {
-	count  atomic.Uint64
-	errors atomic.Uint64
-	micros atomic.Uint64 // cumulative handler latency
-}
-
-// metrics tracks per-endpoint latency and QPS since server start.
+// metrics tracks per-endpoint request counts, errors and latency. The
+// instruments live on the engine's shared registry, so one /metrics
+// scrape covers HTTP and engine families alike; latency uses the obs
+// log-bucketed histogram, giving /v1/stats real quantiles instead of
+// the mean-only view the old accumulator offered.
 type metrics struct {
 	start time.Time
+	lat   *obs.HistogramVec // rknnt_http_request_seconds{endpoint=...}
+	reqs  *obs.CounterVec   // rknnt_http_requests_total{endpoint=...}
+	errs  *obs.CounterVec   // rknnt_http_errors_total{endpoint=...}
+
 	mu    sync.Mutex
 	byKey map[string]*endpointStat
+	keys  []string // registration order, for stable snapshots
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), byKey: make(map[string]*endpointStat)}
+// endpointStat is one endpoint's resolved instrument handles.
+type endpointStat struct {
+	lat    *obs.Histogram // nil for streaming endpoints (no latency)
+	count  *obs.Counter
+	errors *obs.Counter
 }
 
-func (m *metrics) stat(key string) *endpointStat {
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		start: time.Now(),
+		lat:   reg.HistogramVec("rknnt_http_request_seconds", "HTTP handler latency per endpoint.", 1e-9, "endpoint"),
+		reqs:  reg.CounterVec("rknnt_http_requests_total", "HTTP requests per endpoint.", "endpoint"),
+		errs:  reg.CounterVec("rknnt_http_errors_total", "HTTP responses with status >= 400 per endpoint.", "endpoint"),
+		byKey: make(map[string]*endpointStat),
+	}
+}
+
+// stat resolves (once) the per-endpoint handles. stream endpoints skip
+// the latency histogram: their wall time is the stream lifetime, which
+// would poison the quantiles.
+func (m *metrics) stat(key string, stream bool) *endpointStat {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s, ok := m.byKey[key]
 	if !ok {
-		s = &endpointStat{}
+		s = &endpointStat{count: m.reqs.With(key), errors: m.errs.With(key)}
+		if !stream {
+			s.lat = m.lat.With(key)
+		}
 		m.byKey[key] = s
+		m.keys = append(m.keys, key)
 	}
 	return s
 }
@@ -58,40 +81,46 @@ func (r *statusRecorder) Flush() {
 // instrument wraps a handler with latency/QPS/error accounting under
 // the given metrics key.
 func (m *metrics) instrument(key string, h http.HandlerFunc) http.HandlerFunc {
-	s := m.stat(key)
+	s := m.stat(key, false)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		t0 := time.Now()
 		h(rec, r)
-		s.count.Add(1)
-		s.micros.Add(uint64(time.Since(t0).Microseconds()))
+		s.count.Inc()
+		s.lat.RecordDuration(time.Since(t0))
 		if rec.status >= 400 {
-			s.errors.Add(1)
+			s.errors.Inc()
 		}
 	}
 }
 
-// instrumentStream counts connections and errors but not latency: a
-// streaming handler returns at client disconnect, so its wall time is
-// the stream lifetime, which would poison the latency averages.
+// instrumentStream counts connections and errors but not latency (see
+// stat).
 func (m *metrics) instrumentStream(key string, h http.HandlerFunc) http.HandlerFunc {
-	s := m.stat(key)
+	s := m.stat(key, true)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		s.count.Add(1)
+		s.count.Inc()
 		h(rec, r)
 		if rec.status >= 400 {
-			s.errors.Add(1)
+			s.errors.Inc()
 		}
 	}
 }
 
-// endpointStatsDTO is one endpoint's /v1/stats entry.
+// endpointStatsDTO is one endpoint's /v1/stats entry. Count, Errors,
+// AvgLatencyMicro and QPS predate the histogram rebuild and keep their
+// shapes; the quantile fields are sourced from the same histogram the
+// Prometheus export reads.
 type endpointStatsDTO struct {
 	Count           uint64  `json:"count"`
 	Errors          uint64  `json:"errors"`
 	AvgLatencyMicro float64 `json:"avg_latency_micros"`
 	QPS             float64 `json:"qps"`
+	P50Micros       float64 `json:"p50_micros"`
+	P90Micros       float64 `json:"p90_micros"`
+	P99Micros       float64 `json:"p99_micros"`
+	MaxMicros       float64 `json:"max_micros"`
 }
 
 func (m *metrics) snapshot() (uptime float64, endpoints map[string]endpointStatsDTO) {
@@ -102,15 +131,21 @@ func (m *metrics) snapshot() (uptime float64, endpoints map[string]endpointStats
 	out := make(map[string]endpointStatsDTO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for key, s := range m.byKey {
+	for _, key := range m.keys {
+		s := m.byKey[key]
 		n := s.count.Load()
 		dto := endpointStatsDTO{
 			Count:  n,
 			Errors: s.errors.Load(),
 			QPS:    float64(n) / elapsed,
 		}
-		if n > 0 {
-			dto.AvgLatencyMicro = float64(s.micros.Load()) / float64(n)
+		if s.lat != nil {
+			sum := obs.Summarize(s.lat, 1e-3) // ns -> µs
+			dto.AvgLatencyMicro = sum.Mean
+			dto.P50Micros = sum.P50
+			dto.P90Micros = sum.P90
+			dto.P99Micros = sum.P99
+			dto.MaxMicros = sum.Max
 		}
 		out[key] = dto
 	}

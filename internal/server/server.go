@@ -17,7 +17,12 @@
 //	POST   /v1/snapshot           save an arena snapshot for warm restarts
 //	GET    /v1/watch              standing continuous query (SSE)
 //	GET    /v1/stats              engine + per-endpoint counters
+//	GET    /v1/slowlog            recent slow-query traces
+//	GET    /metrics               Prometheus text exposition
 //	GET    /healthz               liveness
+//
+// With WithPprof, the net/http/pprof profile handlers are additionally
+// mounted under /debug/pprof/.
 package server
 
 import (
@@ -25,11 +30,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/serve"
 )
@@ -43,9 +50,27 @@ type Server struct {
 	metrics *metrics
 }
 
+// Option customises New.
+type Option func(*serverConfig)
+
+type serverConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/.
+// Off by default: profiles expose internals and cost CPU while running,
+// so production deployments opt in explicitly (rknnt-serve -pprof).
+func WithPprof() Option {
+	return func(c *serverConfig) { c.pprof = true }
+}
+
 // New builds a Server over the engine.
-func New(e *serve.Engine) *Server {
-	s := &Server{engine: e, mux: http.NewServeMux(), metrics: newMetrics()}
+func New(e *serve.Engine, opts ...Option) *Server {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{engine: e, mux: http.NewServeMux(), metrics: newMetrics(e.Metrics())}
 	if vo := e.VertexOf(); vo != nil {
 		s.stopOf = make(map[graph.VertexID]model.StopID, len(vo))
 		for stop, v := range vo {
@@ -67,7 +92,16 @@ func New(e *serve.Engine) *Server {
 	handle("POST /v1/snapshot", "/v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/watch", s.metrics.instrumentStream("/v1/watch", s.handleWatch))
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("GET /v1/slowlog", "/v1/slowlog", s.handleSlowlog)
+	handle("GET /metrics", "/metrics", s.handleMetrics)
 	handle("GET /healthz", "/healthz", s.handleHealthz)
+	if cfg.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -110,6 +144,13 @@ func (s *Server) handleRkNNT(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// ?trace=1 attaches a per-stage trace to this query and returns it
+	// in the response. The trace never enters the cache key (it cannot
+	// change the result), so tracing a hot query still hits the cache —
+	// the trace then records the cache span and hit event only.
+	if r.URL.Query().Get("trace") == "1" {
+		opts.Trace = obs.NewTrace()
+	}
 	res, err := s.engine.RkNNT(toPoints(req.Query), opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -129,6 +170,7 @@ func (s *Server) handleRkNNT(w http.ResponseWriter, r *http.Request) {
 			RefineNodes:  res.Stats.RefineNodes,
 			Candidates:   res.Stats.Candidates,
 		},
+		Trace: opts.Trace.Data(),
 	})
 }
 
@@ -359,6 +401,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Engine:        s.engine.EngineStats(),
 		Endpoints:     endpoints,
 	})
+}
+
+// handleMetrics renders the shared registry in Prometheus text
+// exposition format: engine, index, monitor and HTTP families together.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.engine.Metrics().WritePrometheus(w)
+}
+
+type slowlogResponse struct {
+	Enabled         bool            `json:"enabled"`
+	ThresholdMicros int64           `json:"threshold_micros,omitempty"`
+	Total           uint64          `json:"total"`
+	Entries         []obs.SlowEntry `json:"entries"`
+}
+
+// handleSlowlog returns the retained slow-query traces, most recent
+// first. With sampling off (no -slowlog), it reports enabled=false.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	sl := s.engine.SlowLog()
+	resp := slowlogResponse{Entries: []obs.SlowEntry{}}
+	if sl != nil {
+		resp.Enabled = true
+		resp.ThresholdMicros = sl.Threshold().Microseconds()
+		resp.Total = sl.Total()
+		resp.Entries = sl.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/planner"
 )
 
@@ -64,6 +65,7 @@ type rknntResponse struct {
 	Shared      bool                 `json:"shared,omitempty"`
 	Epoch       uint64               `json:"epoch"`
 	Stats       queryStatsDTO        `json:"stats"`
+	Trace       *obs.TraceData       `json:"trace,omitempty"` // present with ?trace=1
 }
 
 func parseMethod(s string) (core.Method, error) {
