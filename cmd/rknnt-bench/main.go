@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/exp"
@@ -30,6 +32,7 @@ type jsonReport struct {
 	Queries        int          `json:"queries"`
 	SynTransitions int          `json:"syn_transitions"`
 	Seed           int64        `json:"seed"`
+	ShardSweep     []int        `json:"shard_sweep,omitempty"`
 	GoMaxProcs     int          `json:"gomaxprocs"`
 	Experiments    []jsonResult `json:"experiments"`
 }
@@ -48,7 +51,17 @@ func main() {
 	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per data point")
 	flag.IntVar(&cfg.SynTransitions, "syn", cfg.SynTransitions, "NYC-Synthetic transition count (paper: 10000000)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "query sampling seed")
+	shards := flag.String("shards", "", "comma-separated TR-shard counts for the shardwrites sweep (default 1,2,4,8)")
 	flag.Parse()
+
+	if *shards != "" {
+		sweep, err := parseShards(*shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rknnt-bench: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.ShardSweep = sweep
+	}
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -67,6 +80,7 @@ func main() {
 		Queries:        cfg.Queries,
 		SynTransitions: cfg.SynTransitions,
 		Seed:           cfg.Seed,
+		ShardSweep:     cfg.ShardSweep,
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
 	}
 	for _, id := range ids {
@@ -95,4 +109,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseShards parses a comma-separated shard-count list, e.g. "1,2,4,8".
+func parseShards(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards value %q (want a comma-separated list of positive shard counts)", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

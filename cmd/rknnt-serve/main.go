@@ -66,19 +66,19 @@ func main() {
 		x        *index.Index
 		g        *graph.Graph
 		vertexOf map[model.StopID]graph.VertexID
-		epoch    uint64
+		epochs   serve.EpochVec
 		bootLoad time.Duration
 	)
 	if *indexPath != "" {
 		t0 := time.Now()
 		var err error
-		x, g, vertexOf, epoch, err = readIndexSnapshot(*indexPath)
+		x, g, vertexOf, epochs, err = readIndexSnapshot(*indexPath)
 		if err != nil {
 			fatal(err)
 		}
 		bootLoad = time.Since(t0)
 		fmt.Printf("arena snapshot loaded in %v (%d routes / %d transitions, epoch %d)\n",
-			bootLoad.Round(time.Millisecond), x.NumRoutes(), x.NumTransitions(), epoch)
+			bootLoad.Round(time.Millisecond), x.NumRoutes(), x.NumTransitions(), epochs.Sum())
 	} else {
 		ds, dg, dv, err := loadData(*snapshot, *csvDir, *gtfsDir, *preset, *scale, *synN)
 		if err != nil {
@@ -94,11 +94,11 @@ func main() {
 	}
 
 	opts := serve.Options{
-		CacheSize:    *cacheSize,
-		MaxBatch:     *maxBatch,
-		Network:      g,
-		VertexOf:     vertexOf,
-		InitialEpoch: epoch,
+		CacheSize:     *cacheSize,
+		MaxBatch:      *maxBatch,
+		Network:       g,
+		VertexOf:      vertexOf,
+		InitialEpochs: epochs,
 	}
 	if *slowlog > 0 {
 		opts.SlowLog = obs.NewSlowLog(*slowlog, *slowlogCap)
@@ -154,10 +154,10 @@ func fatal(err error) {
 }
 
 // readIndexSnapshot warm-boots from an arena snapshot file.
-func readIndexSnapshot(path string) (*index.Index, *graph.Graph, map[model.StopID]graph.VertexID, uint64, error) {
+func readIndexSnapshot(path string) (*index.Index, *graph.Graph, map[model.StopID]graph.VertexID, serve.EpochVec, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, nil, 0, err
+		return nil, nil, nil, serve.EpochVec{}, err
 	}
 	defer f.Close()
 	return serve.ReadSnapshot(f)

@@ -132,6 +132,14 @@ type Stats struct {
 	RefineNodes  int // |S_refine|: RR-tree nodes pruned during filtering
 	Candidates   int // |S_cnd|: endpoints surviving PruneTransition
 	Results      int // |S_result|: transitions returned
+
+	// ShardsTouched is a bitmask over TR-tree shards: bit s is set when
+	// shard s contributed at least one candidate endpoint. It is a
+	// conservative superset of the shards holding result transitions, so
+	// a serving layer may skip result maintenance for shards outside the
+	// mask when replaying per-shard removals. BruteForce scans (and
+	// indexes with more than 64 shards) report the all-ones mask.
+	ShardsTouched uint64
 }
 
 // Total returns the end-to-end processing time.
@@ -144,6 +152,7 @@ func (s *Stats) add(o *Stats) {
 	s.FilterRoutes += o.FilterRoutes
 	s.RefineNodes += o.RefineNodes
 	s.Candidates += o.Candidates
+	s.ShardsTouched |= o.ShardsTouched
 }
 
 // endpointMask records which endpoints of a transition take the query as a

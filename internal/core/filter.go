@@ -323,8 +323,14 @@ func pruneTransition(x *index.Index, query []geo.Point, fs *filterSet, k int, us
 		}
 	}
 	var cands []rtree.Entry
-	for _, c := range perShard {
+	for s, c := range perShard {
+		if len(c) > 0 && s < 64 {
+			stats.ShardsTouched |= 1 << uint(s)
+		}
 		cands = append(cands, c...)
+	}
+	if len(shards) > 64 {
+		stats.ShardsTouched = ^uint64(0)
 	}
 	stats.Candidates = len(cands)
 	return cands

@@ -60,6 +60,7 @@ func divideConquer(x *index.Index, query []geo.Point, k int, opts Options, stats
 		stats.FilterPoints += subStats.FilterPoints
 		stats.FilterRoutes += subStats.FilterRoutes
 		stats.RefineNodes += subStats.RefineNodes
+		stats.ShardsTouched |= subStats.ShardsTouched
 		for _, e := range cands {
 			key := endpointKey{e.ID, e.Aux}
 			if _, dup := seen[key]; dup {
@@ -89,6 +90,7 @@ func bruteForceMasks(x *index.Index, query []geo.Point, k int, opts Options, sta
 	sp := opts.Trace.StartSpan("verify")
 	defer sp.End()
 	masks := make(map[model.TransitionID]endpointMask)
+	stats.ShardsTouched = ^uint64(0) // full scan: every shard is a dependency
 	x.Transitions(func(t *model.Transition) bool {
 		if bruteForceEndpoint(x, query, t.O, k) {
 			masks[t.ID] |= maskOrigin

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// defaultShardSweep is the per-shard pipeline sweep run when the
+// configuration does not override it (rknnt-bench -shards).
+var defaultShardSweep = []int{1, 2, 4, 8}
+
+// shardWriteWorkers is the number of concurrent clients driving the
+// mixed workload. Each alternates strictly between a cached read and a
+// write, so the op mix is exactly 50/50 regardless of scheduling.
+const shardWriteWorkers = 4
+
+// ShardWrites measures the write path of the serving layer under a
+// write-heavy 50/50 mixed workload: the pre-refactor single-pipeline
+// engine (every write funnelled through one barrier pipeline, cached
+// results repaired eagerly on every commit) against per-shard write
+// pipelines (commits under per-shard locks, cached results repaired
+// lazily from the per-shard journals at read time) across a sweep of
+// TR-tree shard counts.
+func (s *Suite) ShardWrites() (*Table, error) {
+	t := &Table{
+		ID:    "shardwrites",
+		Title: "Per-shard write pipelines: 50/50 mixed read/write workload",
+		Header: []string{"config", "shards", "write_ops_s", "read_us",
+			"quiet_read_us", "hit_ratio", "repairs", "speedup"},
+		Notes: []string{
+			"50/50 mix: each of 4 workers alternates a cached RkNNT read (16-query hot set) with a transition write (70% adds / 30% removes)",
+			"the cache is primed with 256 queries, serving-cache style: a long tail of entries that commits must keep coherent but reads rarely touch",
+			"single-pipeline = pre-refactor engine: one barrier pipeline, eager repair of every cached entry on every commit",
+			"sharded rows commit under per-shard locks and repair stale cached results lazily from the per-shard journals at read time, so the cold tail costs writes nothing",
+			"read_us = mean read latency during the write storm; quiet_read_us = cached reads after writes drain (the vector-epoch fast path)",
+			"speedup = write_ops_s relative to the single-pipeline row",
+		},
+	}
+	sweep := s.Cfg.ShardSweep
+	if len(sweep) == 0 {
+		sweep = defaultShardSweep
+	}
+	// The baseline runs with the same index layout as the sweep's
+	// largest row, so the rows differ only in the write pipeline.
+	baseShards := sweep[len(sweep)-1]
+	for _, n := range sweep {
+		if n == 4 {
+			baseShards = 4 // the acceptance comparison point
+		}
+	}
+
+	base, err := s.shardWriteRow(baseShards, true)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("single-pipeline", baseShards, int(base.writeOpsPerSec),
+		base.readMicros, base.quietMicros, base.hitRatio, base.repairs, 1.0)
+	for _, n := range sweep {
+		r, err := s.shardWriteRow(n, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("per-shard", n, int(r.writeOpsPerSec),
+			r.readMicros, r.quietMicros, r.hitRatio, r.repairs,
+			r.writeOpsPerSec/base.writeOpsPerSec)
+	}
+	return t, nil
+}
+
+type shardWriteResult struct {
+	writeOpsPerSec float64
+	readMicros     float64
+	quietMicros    float64
+	hitRatio       float64
+	repairs        uint64
+}
+
+// shardWriteRow builds a fresh index over the LA-like city with the
+// given TR-tree shard count, wraps it in an engine (single-pipeline or
+// per-shard pipelines) and drives the mixed workload against it.
+func (s *Suite) shardWriteRow(shards int, single bool) (shardWriteResult, error) {
+	city := s.LA().City
+	x, err := index.BuildOpts(city.Dataset, index.Options{TRShards: shards})
+	if err != nil {
+		return shardWriteResult{}, err
+	}
+	e := serve.New(x, serve.Options{CacheSize: 512, SinglePipeline: single})
+	defer e.Close()
+
+	// Prime a serving-style cache: 256 distinct queries, of which only
+	// the first 16 stay hot during the measured phase. The cold tail is
+	// what separates the two repair strategies — the eager walk revisits
+	// all 256 entries on every commit, the lazy path only the entry a
+	// read actually lands on.
+	rng := s.rng()
+	pool := make([][]geo.Point, 256)
+	for i := range pool {
+		pool[i] = city.Query(rng, 4, 3)
+	}
+	hot := pool[:16]
+	qopts := core.Options{K: 8, Method: core.DivideConquer}
+	for _, q := range pool {
+		if _, err := e.RkNNT(q, qopts); err != nil {
+			return shardWriteResult{}, err
+		}
+	}
+	before := e.EngineStats()
+
+	perWorker := 150 * s.Cfg.Queries // write+read pairs per worker
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		readTime time.Duration
+		reads    int
+		firstErr error
+	)
+	start := time.Now()
+	for w := 0; w < shardWriteWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(9000 + w)))
+			nextID := model.TransitionID(80_000_000 + w*1_000_000)
+			live := make([]model.TransitionID, 0, perWorker)
+			var spent time.Duration
+			for i := 0; i < perWorker; i++ {
+				// One write...
+				if len(live) > 0 && rng.Intn(10) < 3 {
+					j := rng.Intn(len(live))
+					id := live[j]
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if _, err := e.RemoveTransition(id); err != nil {
+						setErr(&mu, &firstErr, err)
+						return
+					}
+				} else {
+					nextID++
+					tr := model.Transition{
+						ID: nextID,
+						O:  geo.Pt(rng.Float64()*50, rng.Float64()*40),
+						D:  geo.Pt(rng.Float64()*50, rng.Float64()*40),
+					}
+					if err := e.AddTransition(tr); err != nil {
+						setErr(&mu, &firstErr, err)
+						return
+					}
+					live = append(live, nextID)
+				}
+				// ...then one read.
+				q := hot[rng.Intn(len(hot))]
+				t0 := time.Now()
+				if _, err := e.RkNNT(q, qopts); err != nil {
+					setErr(&mu, &firstErr, err)
+					return
+				}
+				spent += time.Since(t0)
+			}
+			mu.Lock()
+			readTime += spent
+			reads += perWorker
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return shardWriteResult{}, firstErr
+	}
+
+	// Quiet phase: with the writers drained, bring the hot entries
+	// current (one repairing read each), then time pure cached reads —
+	// the vector-epoch fast path the acceptance bar compares against
+	// the pre-refactor scalar check.
+	for _, q := range hot {
+		if _, err := e.RkNNT(q, qopts); err != nil {
+			return shardWriteResult{}, err
+		}
+	}
+	const quietReads = 1000
+	quietStart := time.Now()
+	for i := 0; i < quietReads; i++ {
+		if _, err := e.RkNNT(hot[i%len(hot)], qopts); err != nil {
+			return shardWriteResult{}, err
+		}
+	}
+	quietMicros := float64(time.Since(quietStart).Microseconds()) / quietReads
+
+	after := e.EngineStats()
+	writes := shardWriteWorkers * perWorker
+	hits := after.CacheHits - before.CacheHits
+	misses := after.CacheMisses - before.CacheMisses
+	return shardWriteResult{
+		writeOpsPerSec: float64(writes) / elapsed.Seconds(),
+		readMicros:     float64(readTime.Microseconds()) / float64(reads),
+		quietMicros:    quietMicros,
+		hitRatio:       float64(hits) / float64(max(hits+misses, 1)),
+		repairs:        after.CacheRepairs - before.CacheRepairs,
+	}, nil
+}
+
+func setErr(mu *sync.Mutex, dst *error, err error) {
+	mu.Lock()
+	if *dst == nil {
+		*dst = err
+	}
+	mu.Unlock()
+}

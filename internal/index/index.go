@@ -41,10 +41,19 @@ type Index struct {
 
 	// trShards are the TR-tree shards (transition endpoints; ID =
 	// transition, Aux = role). shardOf records each transition's shard;
-	// nextShard is the round-robin cursor for dynamic arrivals.
+	// nextShard is a legacy round-robin cursor kept only for snapshot
+	// format compatibility (dynamic arrivals now route by HomeShard).
 	trShards  []*rtree.Tree
 	shardOf   map[model.TransitionID]int32
 	nextShard int32
+
+	// metaMu guards the bookkeeping shared between shards — transitions,
+	// shardOf and the expiry heap — against concurrent per-shard commits
+	// (AddBatchToShard / RemoveBatchFromShard on distinct shards may run
+	// at the same time). It does NOT cover the trees or the read paths:
+	// readers must still be excluded from commits externally (the serving
+	// layer's shard read locks do this). See shardcommit.go.
+	metaMu sync.Mutex
 
 	routes      map[model.RouteID]*model.Route
 	transitions map[model.TransitionID]*model.Transition
@@ -329,8 +338,8 @@ func (x *Index) RemoveRoute(id model.RouteID) bool {
 	return true
 }
 
-// AddTransition indexes a new transition dynamically, assigning it to a
-// shard round-robin.
+// AddTransition indexes a new transition dynamically, assigning it to
+// its home shard (HomeShard).
 func (x *Index) AddTransition(t model.Transition) error {
 	errs := x.AddTransitionsBatch([]model.Transition{t})
 	return errs[0]
@@ -350,8 +359,7 @@ func (x *Index) AddTransitionsBatch(ts []model.Transition) []error {
 		}
 		cp := t
 		x.transitions[t.ID] = &cp
-		s := x.nextShard
-		x.nextShard = (x.nextShard + 1) % int32(len(x.trShards))
+		s := int32(x.HomeShard(t.ID))
 		x.shardOf[t.ID] = s
 		if t.Time != 0 {
 			x.expiry.push(timedEntry{time: t.Time, id: t.ID})

@@ -1,0 +1,188 @@
+package index
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rtree"
+)
+
+// Per-shard commit entry points. The batch APIs in index.go apply a
+// mixed batch across every shard under one caller-provided writer; the
+// entry points here let two shards commit under disjoint locks:
+//
+//   - The caller serialises commits to the SAME shard (the serving
+//     layer holds that shard's write lock) and excludes readers for the
+//     duration (queries hold every shard's read lock).
+//   - Commits to DISTINCT shards may run concurrently: the bookkeeping
+//     they share — the transitions map, the shard assignment table and
+//     the expiry heap — is guarded internally by metaMu. The expensive
+//     part, the R-tree surgery, touches only the committing shard's
+//     tree and runs outside metaMu.
+//
+// Dynamic transitions route to HomeShard(id), a stable hash of the ID,
+// so any client of the index can compute the owning pipeline without a
+// lookup. Transitions placed by bulk load or an older snapshot may live
+// elsewhere; ShardOf resolves the committed placement.
+
+// HomeShard returns the shard that dynamic writes for id route to: a
+// stable splitmix-style hash of the ID modulo the shard count. Adds
+// commit to their home shard; removes route here first and follow the
+// committed placement (ShardOf) when it differs.
+func (x *Index) HomeShard(id model.TransitionID) int {
+	z := uint64(uint32(id)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(len(x.trShards)))
+}
+
+// ShardOf returns the shard currently holding id, and whether id is
+// indexed at all. Safe to call concurrently with per-shard commits.
+func (x *Index) ShardOf(id model.TransitionID) (int, bool) {
+	x.metaMu.Lock()
+	s, ok := x.shardOf[id]
+	x.metaMu.Unlock()
+	return int(s), ok
+}
+
+// AddBatchToShard indexes ts into shard s. errs[i] is the outcome of
+// ts[i] (duplicate IDs are rejected index-wide, not per shard). The
+// caller must hold shard s's write exclusion and keep readers out;
+// commits to other shards may proceed concurrently.
+func (x *Index) AddBatchToShard(s int, ts []model.Transition) []error {
+	errs := make([]error, len(ts))
+	entries := make([]rtree.Entry, 0, 2*len(ts))
+	x.metaMu.Lock()
+	for i := range ts {
+		t := ts[i]
+		if _, dup := x.transitions[t.ID]; dup {
+			errs[i] = fmt.Errorf("index: duplicate transition ID %d", t.ID)
+			continue
+		}
+		cp := t
+		x.transitions[t.ID] = &cp
+		x.shardOf[t.ID] = int32(s)
+		if t.Time != 0 {
+			x.expiry.push(timedEntry{time: t.Time, id: t.ID})
+		}
+		entries = append(entries,
+			rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin},
+			rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
+	}
+	x.metaMu.Unlock()
+	if len(entries) > 0 {
+		x.applyShard(s, entries, func(s int, e rtree.Entry) { x.trShards[s].Insert(e) })
+	}
+	return errs
+}
+
+// RemoveBatchFromShard removes those of ids that live on shard s.
+// removed[i] reports that ids[i] was present on shard s and is now
+// gone. foreign[i] is the shard that actually holds a still-present
+// ids[i] routed here by a stale placement (-1 otherwise); the caller
+// re-routes those to the owning shard's pipeline. Locking contract as
+// in AddBatchToShard.
+func (x *Index) RemoveBatchFromShard(s int, ids []model.TransitionID) (removed []bool, foreign []int) {
+	removed = make([]bool, len(ids))
+	foreign = make([]int, len(ids))
+	entries := make([]rtree.Entry, 0, 2*len(ids))
+	x.metaMu.Lock()
+	for i, id := range ids {
+		foreign[i] = -1
+		t, ok := x.transitions[id]
+		if !ok {
+			continue
+		}
+		if home := x.shardOf[id]; int(home) != s {
+			foreign[i] = int(home)
+			continue
+		}
+		removed[i] = true
+		entries = append(entries,
+			rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin},
+			rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
+		delete(x.transitions, id)
+		delete(x.shardOf, id)
+	}
+	x.metaMu.Unlock()
+	if len(entries) > 0 {
+		x.applyShard(s, entries, func(s int, e rtree.Entry) { x.trShards[s].Delete(e) })
+	}
+	return removed, foreign
+}
+
+// RemoveBatchAnyShard removes ids from whichever shards hold them,
+// grouping the tree surgery per shard. perShard[s] lists the IDs
+// removed from shard s; removed[i] reports ids[i] was present. The
+// caller must hold EVERY shard's write exclusion (barrier commits —
+// expiry sweeps, stale-placement cleanup — use this).
+func (x *Index) RemoveBatchAnyShard(ids []model.TransitionID) (removed []bool, perShard [][]model.TransitionID) {
+	removed = make([]bool, len(ids))
+	perShard = make([][]model.TransitionID, len(x.trShards))
+	entries := make([][]rtree.Entry, len(x.trShards))
+	x.metaMu.Lock()
+	for i, id := range ids {
+		t, ok := x.transitions[id]
+		if !ok {
+			continue
+		}
+		removed[i] = true
+		s := x.shardOf[id]
+		perShard[s] = append(perShard[s], id)
+		entries[s] = append(entries[s],
+			rtree.Entry{Pt: t.O, ID: t.ID, Aux: Origin},
+			rtree.Entry{Pt: t.D, ID: t.ID, Aux: Destination})
+		delete(x.transitions, id)
+		delete(x.shardOf, id)
+	}
+	x.metaMu.Unlock()
+	for s := range entries {
+		if len(entries[s]) == 0 {
+			continue
+		}
+		x.applyShard(s, entries[s], func(s int, e rtree.Entry) { x.trShards[s].Delete(e) })
+	}
+	return removed, perShard
+}
+
+// TransitionValue returns a copy of the transition with the given ID.
+// Unlike Transition it is safe to call concurrently with per-shard
+// commits (the lookup runs under metaMu and the value is copied out).
+func (x *Index) TransitionValue(id model.TransitionID) (model.Transition, bool) {
+	x.metaMu.Lock()
+	t, ok := x.transitions[id]
+	if !ok {
+		x.metaMu.Unlock()
+		return model.Transition{}, false
+	}
+	cp := *t
+	x.metaMu.Unlock()
+	return cp, true
+}
+
+// DrainTimedBeforeLocked is DrainTimedBefore for barrier commits: the
+// heap pop and liveness checks run under metaMu so the sweep is safe
+// against the bookkeeping even if a stray per-shard commit were still
+// in flight. The caller must hold every shard's write exclusion before
+// removing the returned victims.
+func (x *Index) DrainTimedBeforeLocked(cutoff int64) []model.TransitionID {
+	start := time.Now()
+	x.metaMu.Lock()
+	var victims []model.TransitionID
+	seen := map[model.TransitionID]bool{}
+	for len(x.expiry) > 0 && x.expiry[0].time < cutoff {
+		e := x.expiry.pop()
+		t, ok := x.transitions[e.id]
+		if !ok || t.Time != e.time || seen[e.id] {
+			continue
+		}
+		seen[e.id] = true
+		victims = append(victims, e.id)
+	}
+	x.metaMu.Unlock()
+	x.observer.ExpirySweep.RecordDuration(time.Since(start))
+	x.observer.ExpirySwept.Add(uint64(len(victims)))
+	return victims
+}

@@ -163,12 +163,22 @@ func (m *Monitor) Add(t model.Transition) ([]Event, error) {
 // errs[i] is the outcome of ts[i]; events cover the whole batch in ts
 // order.
 func (m *Monitor) AddBatch(ts []model.Transition) ([]Event, []error) {
+	errs := m.x.AddTransitionsBatch(ts)
+	return m.ApplyAdds(ts, errs), errs
+}
+
+// ApplyAdds updates every standing query for transitions already
+// committed to the index by the caller (errs[i] == nil marks ts[i] as
+// committed), returning the resulting events. It performs NO index
+// writes — serving layers with their own commit pipelines apply the
+// index mutation under their shard locks and then call this for the
+// standing-query maintenance alone.
+func (m *Monitor) ApplyAdds(ts []model.Transition, errs []error) []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	errs := m.x.AddTransitionsBatch(ts)
 	var events []Event
 	for i := range ts {
-		if errs[i] != nil {
+		if errs != nil && errs[i] != nil {
 			continue
 		}
 		t := ts[i]
@@ -191,7 +201,7 @@ func (m *Monitor) AddBatch(ts []model.Transition) ([]Event, []error) {
 			}
 		}
 	}
-	return events, errs
+	return events
 }
 
 // Remove drops a transition and updates every standing query, returning
@@ -205,12 +215,20 @@ func (m *Monitor) Remove(id model.TransitionID) ([]Event, bool) {
 // applied concurrently) and updates every standing query. existed[i]
 // reports whether ids[i] was present.
 func (m *Monitor) RemoveBatch(ids []model.TransitionID) ([]Event, []bool) {
+	existed := m.x.RemoveTransitionsBatch(ids)
+	return m.ApplyRemoves(ids, existed), existed
+}
+
+// ApplyRemoves updates every standing query for transitions already
+// removed from the index by the caller (removed[i] marks ids[i] as
+// actually removed; nil means all), returning the resulting events.
+// Like ApplyAdds it performs no index writes.
+func (m *Monitor) ApplyRemoves(ids []model.TransitionID, removed []bool) []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	existed := m.x.RemoveTransitionsBatch(ids)
 	var events []Event
 	for i, id := range ids {
-		if !existed[i] {
+		if removed != nil && !removed[i] {
 			continue
 		}
 		for _, st := range m.queries {
@@ -222,7 +240,7 @@ func (m *Monitor) RemoveBatch(ids []model.TransitionID) ([]Event, []bool) {
 			}
 		}
 	}
-	return events, existed
+	return events
 }
 
 // ExpireBefore removes every timed transition older than cutoff,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned for writes submitted after Close.
@@ -19,8 +20,8 @@ const (
 	opExpire
 )
 
-// writeOp is one queued mutation. The writer goroutine coalesces queued
-// ops and applies them under a single write-lock acquisition; done is
+// writeOp is one queued mutation. A pipeline goroutine coalesces queued
+// ops and applies them under a single lock acquisition; done is
 // signalled with the per-op outcome once the batch commits.
 type writeOp struct {
 	kind   opKind
@@ -37,40 +38,80 @@ type opResult struct {
 	n       int  // opExpire: transitions removed
 }
 
-// writer is the single consumer of writeCh. It drains whatever has
+// shardPipeline is one shard's write path: a queue and the single
+// goroutine that drains it. Transition ops route to their shard's
+// pipeline (see pipelineFor), so two shards' batches commit
+// concurrently under disjoint locks. shard == -1 is the barrier
+// pipeline, whose commits span every shard: expiry sweeps, removals
+// whose committed placement disagrees with their routed shard, and —
+// in SinglePipeline mode — everything.
+type shardPipeline struct {
+	e          *Engine
+	shard      int // -1: barrier
+	ch         chan writeOp
+	commitHist *obs.Histogram
+	batchBuf   []writeOp
+}
+
+// run is the pipeline's sole consumer. It drains whatever has
 // accumulated since the last batch and applies it in one critical
-// section, so N concurrent writers cost one lock acquisition, one epoch
-// bump and one cache purge instead of N.
-func (e *Engine) writer() {
+// section, so N concurrent writers to one shard cost one lock
+// acquisition and one epoch bump instead of N.
+func (p *shardPipeline) run() {
+	e := p.e
 	defer e.wg.Done()
+	if p.shard >= 0 {
+		defer e.pipesWg.Done()
+	}
 	for {
 		var first writeOp
 		select {
-		case first = <-e.writeCh:
+		case first = <-p.ch:
 		case <-e.quit:
-			e.drainClosed()
+			p.quiesce()
 			return
 		}
-		batch := append(e.batchBuf[:0], first)
+		batch := append(p.batchBuf[:0], first)
 		for len(batch) < e.opts.MaxBatch {
 			select {
-			case op := <-e.writeCh:
+			case op := <-p.ch:
 				batch = append(batch, op)
 			default:
 				goto apply
 			}
 		}
 	apply:
-		e.batchBuf = batch
-		e.applyBatch(batch)
+		p.batchBuf = batch
+		if p.shard < 0 {
+			p.applyBarrier(batch)
+		} else {
+			p.applyShard(batch)
+		}
 	}
 }
 
-// drainClosed fails every op still queued at Close time.
-func (e *Engine) drainClosed() {
+// quiesce fails everything still queued at Close time with ErrClosed.
+// The barrier pipeline first waits out the shard pipelines, answering
+// their forwarded ops as they arrive: a shard pipeline may still be
+// mid-commit discovering stale-placement removals, and every forward
+// needs a live consumer (see forwardToBarrier).
+func (p *shardPipeline) quiesce() {
+	if p.shard < 0 {
+		done := make(chan struct{})
+		go func() { p.e.pipesWg.Wait(); close(done) }()
+		for {
+			select {
+			case op := <-p.ch:
+				op.done <- opResult{err: ErrClosed}
+			case <-done:
+				goto drained
+			}
+		}
+	drained:
+	}
 	for {
 		select {
-		case op := <-e.writeCh:
+		case op := <-p.ch:
 			op.done <- opResult{err: ErrClosed}
 		default:
 			return
@@ -78,31 +119,33 @@ func (e *Engine) drainClosed() {
 	}
 }
 
-// applyBatch applies a coalesced batch of mutations in one write-lock
-// acquisition, bumps the epoch, purges the query cache and broadcasts
-// the standing-query deltas. Consecutive runs of same-kind ops are
-// handed to the monitor as one sub-batch, so the index can apply their
-// per-shard tree mutations in parallel goroutines while the semantics of
-// the original op order are preserved exactly (a remove following an add
-// of the same ID still observes it). The purge and broadcast happen
-// before the lock is released: broadcasting outside it would let a
-// racing route commit deliver its deltas first, and subscribers must see
-// deltas in commit order (an out-of-order add/remove pair would corrupt
-// their incremental result sets with no resync to save them).
-func (e *Engine) applyBatch(batch []writeOp) {
+// applyShard commits a coalesced batch on this pipeline's shard under
+// (structMu.R, shardMu[shard].W): queries are held out of this shard
+// only, and other shards' pipelines commit concurrently. Consecutive
+// same-kind runs become one index sub-batch. The journal append and the
+// standing-delta broadcast happen before the locks release, so deltas
+// reach subscribers in commit order and a reader that observes the new
+// epoch can always replay the journal entry behind it.
+//
+// Removals whose transition turns out to live on a different shard
+// (placed by bulk load or an old snapshot) are not answered here: they
+// forward to the barrier pipeline after the locks release — forwarding
+// while holding shard locks could deadlock against a barrier commit
+// waiting for those same locks.
+func (p *shardPipeline) applyShard(batch []writeOp) {
+	e, s := p.e, p.shard
 	start := time.Now()
 	for i := range batch {
 		e.mx.queueWait.RecordDuration(start.Sub(batch[i].enq))
 	}
 	results := make([]opResult, len(batch))
+	forwarded := make([]bool, len(batch))
+	var forwards []writeOp
 	var events []monitor.Event
-	// Net cache-repair delta, built in op order so an add followed by a
-	// remove of the same ID within one coalesced batch nets out to a
-	// removal — repairing "removals then adds" from flat lists would
-	// resurrect such a transition into cached results.
-	delta := newBatchDelta()
+	var jAdded, jRemoved []model.TransitionID
 
-	e.mu.Lock()
+	e.structMu.RLock()
+	e.shardMu[s].Lock()
 	for i := 0; i < len(batch); {
 		j := i
 		for j < len(batch) && batch[j].kind == batch[i].kind {
@@ -115,48 +158,198 @@ func (e *Engine) applyBatch(batch []writeOp) {
 			for k := range run {
 				ts[k] = run[k].t
 			}
-			evs, errs := e.mon.AddBatch(ts)
+			errs := e.idx.AddBatchToShard(s, ts)
+			events = append(events, e.mon.ApplyAdds(ts, errs)...)
 			for k := range run {
 				results[i+k] = opResult{err: errs[k]}
 				if errs[k] == nil {
-					delta.add(ts[k])
+					jAdded = append(jAdded, ts[k].ID)
 				}
 			}
-			events = append(events, evs...)
 		case opRemoveTransition:
 			ids := make([]model.TransitionID, len(run))
 			for k := range run {
 				ids[k] = run[k].id
 			}
-			evs, existed := e.mon.RemoveBatch(ids)
+			removed, foreign := e.idx.RemoveBatchFromShard(s, ids)
+			events = append(events, e.mon.ApplyRemoves(ids, removed)...)
 			for k := range run {
-				results[i+k] = opResult{existed: existed[k]}
-				if existed[k] {
-					delta.remove(ids[k])
+				if foreign[k] >= 0 {
+					forwarded[i+k] = true
+					forwards = append(forwards, run[k])
+					continue
 				}
-			}
-			events = append(events, evs...)
-		case opExpire:
-			for k, op := range run {
-				// Resolve the victims here (not inside mon.ExpireBefore)
-				// so their IDs feed the cache repair below.
-				victims := e.idx.DrainTimedBefore(op.cutoff)
-				evs, _ := e.mon.RemoveBatch(victims)
-				results[i+k] = opResult{n: len(victims)}
-				events = append(events, evs...)
-				for _, id := range victims {
-					delta.remove(id)
+				results[i+k] = opResult{existed: removed[k]}
+				if removed[k] {
+					jRemoved = append(jRemoved, ids[k])
 				}
 			}
 		}
 		i = j
 	}
-	newEpoch := e.epoch.Add(1)
-	e.repairCacheLocked(newEpoch, delta)
+	if len(jAdded)+len(jRemoved) > 0 {
+		newEpoch := e.epochShard[s].Add(1)
+		if e.opts.PurgeOnWrite {
+			e.cache.Purge()
+			e.mx.cachePurges.Inc()
+		} else {
+			e.journals[s].append(journalBatch{epoch: newEpoch, added: jAdded, removed: jRemoved})
+		}
+	}
 	e.broadcast(events)
-	e.mu.Unlock()
+	e.shardMu[s].Unlock()
+	e.structMu.RUnlock()
 
-	e.mx.commit.RecordDuration(time.Since(start))
+	d := time.Since(start)
+	e.mx.commit.RecordDuration(d)
+	p.commitHist.RecordDuration(d)
+	e.mx.batches.Inc()
+	e.mx.batchedOps.Add(uint64(len(batch) - len(forwards)))
+	for i := range batch {
+		if !forwarded[i] {
+			batch[i].done <- results[i]
+		}
+	}
+	for _, op := range forwards {
+		e.forwardToBarrier(op)
+	}
+}
+
+// forwardToBarrier re-routes a stale-placement removal to the barrier
+// pipeline. A plain send is safe: the forwarder holds no locks, and the
+// barrier consumes until every shard pipeline has exited (quiesce), so
+// a live consumer always exists — even during Close, where the op is
+// then answered with ErrClosed.
+func (e *Engine) forwardToBarrier(op writeOp) {
+	e.barrier.ch <- op
+}
+
+// applyBarrier commits a coalesced batch under (structMu.R, every
+// shardMu.W in ascending order): the whole index is quiesced, as
+// expiry sweeps and stale-placement removals may touch any shard. In
+// SinglePipeline mode every mutation comes through here, reproducing
+// the pre-vector-epoch engine: one global write path, eager cache
+// repair inside the commit.
+func (p *shardPipeline) applyBarrier(batch []writeOp) {
+	e := p.e
+	start := time.Now()
+	for i := range batch {
+		e.mx.queueWait.RecordDuration(start.Sub(batch[i].enq))
+	}
+	shards := len(e.shardMu)
+	results := make([]opResult, len(batch))
+	var events []monitor.Event
+	jAdded := make([][]model.TransitionID, shards)
+	jRemoved := make([][]model.TransitionID, shards)
+	// Net delta in op order, for the eager repair walk (SinglePipeline).
+	var delta *batchDelta
+	if e.opts.SinglePipeline && !e.opts.PurgeOnWrite {
+		delta = newBatchDelta()
+	}
+
+	e.structMu.RLock()
+	for s := 0; s < shards; s++ {
+		e.shardMu[s].Lock()
+	}
+	oldVec := e.epochVecQuiescent()
+	for i := 0; i < len(batch); {
+		j := i
+		for j < len(batch) && batch[j].kind == batch[i].kind {
+			j++
+		}
+		run := batch[i:j]
+		switch batch[i].kind {
+		case opAddTransition:
+			// Group by home shard so placement matches the per-shard
+			// pipelines' and the sub-batch insert stays per-tree.
+			byShard := make([][]int, shards)
+			for k := range run {
+				h := e.idx.HomeShard(run[k].t.ID)
+				byShard[h] = append(byShard[h], i+k)
+			}
+			for h, idxs := range byShard {
+				if len(idxs) == 0 {
+					continue
+				}
+				ts := make([]model.Transition, len(idxs))
+				for k, bi := range idxs {
+					ts[k] = batch[bi].t
+				}
+				errs := e.idx.AddBatchToShard(h, ts)
+				events = append(events, e.mon.ApplyAdds(ts, errs)...)
+				for k, bi := range idxs {
+					results[bi] = opResult{err: errs[k]}
+					if errs[k] == nil {
+						jAdded[h] = append(jAdded[h], ts[k].ID)
+						if delta != nil {
+							delta.add(ts[k])
+						}
+					}
+				}
+			}
+		case opRemoveTransition:
+			ids := make([]model.TransitionID, len(run))
+			for k := range run {
+				ids[k] = run[k].id
+			}
+			removed, perShard := e.idx.RemoveBatchAnyShard(ids)
+			events = append(events, e.mon.ApplyRemoves(ids, removed)...)
+			for k := range run {
+				results[i+k] = opResult{existed: removed[k]}
+				if removed[k] && delta != nil {
+					delta.remove(ids[k])
+				}
+			}
+			for s, list := range perShard {
+				jRemoved[s] = append(jRemoved[s], list...)
+			}
+		case opExpire:
+			for k, op := range run {
+				victims := e.idx.DrainTimedBeforeLocked(op.cutoff)
+				removed, perShard := e.idx.RemoveBatchAnyShard(victims)
+				events = append(events, e.mon.ApplyRemoves(victims, removed)...)
+				results[i+k] = opResult{n: len(victims)}
+				for s, list := range perShard {
+					jRemoved[s] = append(jRemoved[s], list...)
+				}
+				if delta != nil {
+					for _, id := range victims {
+						delta.remove(id)
+					}
+				}
+			}
+		}
+		i = j
+	}
+	changed := false
+	for s := 0; s < shards; s++ {
+		if len(jAdded[s])+len(jRemoved[s]) == 0 {
+			continue
+		}
+		changed = true
+		newEpoch := e.epochShard[s].Add(1)
+		if !e.opts.PurgeOnWrite && !e.opts.SinglePipeline {
+			e.journals[s].append(journalBatch{epoch: newEpoch, added: jAdded[s], removed: jRemoved[s]})
+		}
+	}
+	if changed {
+		switch {
+		case e.opts.PurgeOnWrite:
+			e.cache.Purge()
+			e.mx.cachePurges.Inc()
+		case e.opts.SinglePipeline:
+			e.repairEagerLocked(oldVec, delta)
+		}
+	}
+	e.broadcast(events)
+	for s := shards - 1; s >= 0; s-- {
+		e.shardMu[s].Unlock()
+	}
+	e.structMu.RUnlock()
+
+	d := time.Since(start)
+	e.mx.commit.RecordDuration(d)
+	p.commitHist.RecordDuration(d)
 	e.mx.batches.Inc()
 	e.mx.batchedOps.Add(uint64(len(batch)))
 	for i := range batch {
@@ -164,10 +357,34 @@ func (e *Engine) applyBatch(batch []writeOp) {
 	}
 }
 
-// submit enqueues one op and waits for its batch to commit. The close
-// flag is checked under closeMu so that no op can be enqueued after
-// Close has cut the writer loose: Close takes the write side of closeMu
-// before signalling quit, which waits out any in-flight send.
+// pipelineFor routes an op to its owning pipeline. Adds go to the ID's
+// home shard; removes follow the committed placement when one exists
+// (falling back to the home shard, where a commit-time recheck forwards
+// to the barrier if the placement moved); cross-shard ops (expiry) and
+// everything in SinglePipeline mode go to the barrier. Routing by ID
+// keeps one ID's ops on one queue, preserving their submission order.
+func (e *Engine) pipelineFor(op *writeOp) *shardPipeline {
+	if e.opts.SinglePipeline {
+		return e.barrier
+	}
+	switch op.kind {
+	case opAddTransition:
+		return e.pipes[e.idx.HomeShard(op.t.ID)]
+	case opRemoveTransition:
+		if s, ok := e.idx.ShardOf(op.id); ok {
+			return e.pipes[s]
+		}
+		return e.pipes[e.idx.HomeShard(op.id)]
+	default:
+		return e.barrier
+	}
+}
+
+// submit enqueues one op on its pipeline and waits for its batch to
+// commit. The close flag is checked under closeMu so that no op can be
+// enqueued after Close has cut the pipelines loose: Close takes the
+// write side of closeMu before signalling quit, which waits out any
+// in-flight send.
 func (e *Engine) submit(op writeOp) opResult {
 	op.done = make(chan opResult, 1)
 	op.enq = time.Now()
@@ -176,14 +393,15 @@ func (e *Engine) submit(op writeOp) opResult {
 		e.closeMu.RUnlock()
 		return opResult{err: ErrClosed}
 	}
-	e.writeCh <- op
+	e.pipelineFor(&op).ch <- op
 	e.closeMu.RUnlock()
 	return <-op.done
 }
 
-// submitMany enqueues every op before waiting on any of them, so one
-// caller's batch coalesces into as few write batches as possible
-// instead of paying one commit per op.
+// submitMany enqueues every op — each on its own shard's pipeline —
+// before waiting on any of them, so one caller's batch coalesces into
+// as few write batches per shard as possible instead of paying one
+// commit per op.
 func (e *Engine) submitMany(n int, mk func(i int) writeOp) []opResult {
 	results := make([]opResult, n)
 	done := make([]chan opResult, n)
@@ -201,7 +419,7 @@ func (e *Engine) submitMany(n int, mk func(i int) writeOp) []opResult {
 		op.done = make(chan opResult, 1)
 		op.enq = enq
 		done[i] = op.done
-		e.writeCh <- op
+		e.pipelineFor(&op).ch <- op
 	}
 	e.closeMu.RUnlock()
 	for i := range done {

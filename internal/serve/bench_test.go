@@ -63,6 +63,84 @@ func BenchmarkEngineMixed90_10(b *testing.B) {
 	b.ReportMetric(float64(st.BatchedOps)/float64(max(st.Batches, 1)), "ops/batch")
 }
 
+// BenchmarkEngineMixed50_50 is the write-heavy preset: half cached
+// RkNNT reads, half transition writes (70% adds / 30% removes of live
+// IDs). This is the workload the per-shard write pipelines target; run
+// with -benchtime and compare against BenchmarkEngineMixed50_50Single
+// to see what lazy journal repair buys over the eager per-commit walk.
+func BenchmarkEngineMixed50_50(b *testing.B) {
+	benchMixed50_50(b, Options{CacheSize: 256})
+}
+
+// BenchmarkEngineMixed50_50Single is the same workload through the
+// pre-refactor engine shape: one barrier pipeline, eager cache repair.
+func BenchmarkEngineMixed50_50Single(b *testing.B) {
+	benchMixed50_50(b, Options{CacheSize: 256, SinglePipeline: true})
+}
+
+func benchMixed50_50(b *testing.B, opts Options) {
+	city, x := testCity(b)
+	e := New(x, opts)
+	defer e.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	queries := make([][]geo.Point, 16)
+	for i := range queries {
+		queries[i] = city.Query(rng, 4, 3)
+	}
+	for _, q := range queries { // prime the cache
+		if _, err := e.RkNNT(q, core.Options{K: 8, Method: core.DivideConquer}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var nextID atomic.Int64
+	nextID.Store(20_000_000)
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(nextID.Add(1)))
+		var live []model.TransitionID
+		write := false
+		for pb.Next() {
+			write = !write
+			if write {
+				if len(live) > 0 && rng.Intn(10) < 3 {
+					j := rng.Intn(len(live))
+					id := live[j]
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+					if _, err := e.RemoveTransition(id); err != nil {
+						b.Error(err)
+						return
+					}
+				} else {
+					id := model.TransitionID(nextID.Add(1))
+					tr := model.Transition{
+						ID: id,
+						O:  geo.Pt(rng.Float64()*50, rng.Float64()*40),
+						D:  geo.Pt(rng.Float64()*50, rng.Float64()*40),
+					}
+					if err := e.AddTransition(tr); err != nil {
+						b.Error(err)
+						return
+					}
+					live = append(live, id)
+				}
+			} else {
+				q := queries[rng.Intn(len(queries))]
+				if _, err := e.RkNNT(q, core.Options{K: 8, Method: core.DivideConquer}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	st := e.EngineStats()
+	b.ReportMetric(float64(st.CacheHits)/float64(max(st.CacheHits+st.CacheMisses, 1)), "cache-hit-ratio")
+	b.ReportMetric(float64(st.CacheRepairs), "repairs")
+}
+
 // BenchmarkEngineReadOnly measures the pure query path (all cache
 // misses forced off by rotating epochless keys is not possible, so this
 // reports the cached steady state — the serving fast path).

@@ -93,6 +93,20 @@ func (c *lruCache) RepairAll(fn func(any) any) {
 	}
 }
 
+// Update replaces key's value with new only if it still holds old — a
+// compare-and-swap, so a lazy repair computed from a stale entry can
+// never clobber a fresher value that a racing recompute or repair
+// installed in the meantime. A missing key is a no-op.
+func (c *lruCache) Update(key string, old, new any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		if ent := el.Value.(*lruEntry); ent.val == old {
+			ent.val = new
+		}
+	}
+}
+
 // Purge drops every entry. Hit/miss counters survive.
 func (c *lruCache) Purge() {
 	c.mu.Lock()

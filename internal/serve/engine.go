@@ -24,8 +24,9 @@ type Options struct {
 	// MaxBatch caps how many queued writes one batch may coalesce.
 	// Default 256.
 	MaxBatch int
-	// QueueDepth is the write-queue buffer. Writers block (backpressure)
-	// once this many ops are queued. Default 1024.
+	// QueueDepth is each write pipeline's queue buffer. Writers block
+	// (backpressure) once this many ops are queued on one shard's
+	// pipeline. Default 1024.
 	QueueDepth int
 	// EventBuffer is the per-subscriber standing-query event buffer;
 	// events beyond it are dropped (and counted). Default 256.
@@ -36,10 +37,24 @@ type Options struct {
 	Network  *graph.Graph
 	VertexOf map[model.StopID]graph.VertexID
 
-	// InitialEpoch seeds the engine's version counter. Warm starts pass
-	// the epoch stored in the snapshot (see ReadSnapshot) so the version
-	// sequence stays monotonic across restarts; cold starts leave it 0.
-	InitialEpoch uint64
+	// InitialEpochs seeds the engine's vector epoch. Warm starts pass
+	// the vector stored in the snapshot (see ReadSnapshot) so the
+	// version sequence stays monotonic across restarts; cold starts
+	// leave it zero. A vector from a different shard layout folds its
+	// leftover counts into the structural counter (Sum is preserved).
+	InitialEpochs EpochVec
+
+	// SinglePipeline routes every mutation through one barrier pipeline
+	// (every commit takes all shard locks) and repairs the cache eagerly
+	// inside each commit — the pre-vector-epoch engine's write path.
+	// It exists as the reference configuration for the shard-scaling
+	// benchmark; production engines leave it false.
+	SinglePipeline bool
+	// PurgeOnWrite makes every committed batch purge the result cache
+	// instead of journaling deltas for repair. This is the
+	// recompute-everything oracle the repair differential tests compare
+	// against; production engines leave it false.
+	PurgeOnWrite bool
 
 	// SlowLog, when non-nil, samples executed queries whose end-to-end
 	// latency meets its threshold: each gets a per-stage trace recorded
@@ -65,23 +80,44 @@ func (o *Options) fill() {
 
 // Engine is a concurrency-safe RkNNT serving engine over one index.
 // All methods are safe for concurrent use.
+//
+// Locking. Two lock families version the index:
+//
+//   - structMu guards structural state: routes, the RR-tree, the
+//     PList. Route changes take it exclusively; everything else —
+//     queries AND shard commits — holds it shared.
+//   - shardMu[s] guards TR-tree shard s. A shard pipeline's commit
+//     takes only its own shard lock (plus structMu shared), so two
+//     shards commit under disjoint locks; queries take every shard
+//     lock shared (rlockAll); barrier commits (expiry, stale-placement
+//     removals, single-pipeline mode) take every shard lock exclusive.
+//
+// All acquisition is ordered structMu then shardMu[0..n-1] ascending,
+// so the lock graph is acyclic.
 type Engine struct {
 	opts Options
 
-	mu  sync.RWMutex // guards idx (and mon's index mutations)
-	idx *index.Index
-	mon *monitor.Monitor
+	structMu sync.RWMutex
+	shardMu  []sync.RWMutex
+	idx      *index.Index
+	mon      *monitor.Monitor
 
-	epoch  atomic.Uint64
-	cache  *lruCache
-	flight flightGroup
+	// Vector epoch: see epoch.go.
+	epochStruct atomic.Uint64
+	epochShard  []atomic.Uint64
 
-	writeCh  chan writeOp
-	batchBuf []writeOp // writer-goroutine scratch
-	quit     chan struct{}
-	wg       sync.WaitGroup
-	closeMu  sync.RWMutex
-	closed   bool
+	cache    *lruCache
+	journals []shardJournal
+	flight   flightGroup
+
+	// Write pipelines: one per shard plus the barrier (see batch.go).
+	pipes   []*shardPipeline
+	barrier *shardPipeline
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	pipesWg sync.WaitGroup // shard pipelines only; the barrier outlives them
+	closeMu sync.RWMutex
+	closed  bool
 
 	// mx holds every serving counter and latency histogram; see
 	// metrics.go. slow is the optional slow-query log (nil = off).
@@ -102,23 +138,38 @@ type Engine struct {
 // of all mutations: once serving starts, do not mutate idx directly.
 func New(idx *index.Index, opts Options) *Engine {
 	opts.fill()
+	shards := idx.NumTransitionShards()
 	e := &Engine{
-		opts:    opts,
-		idx:     idx,
-		mon:     monitor.New(idx),
-		slow:    opts.SlowLog,
-		writeCh: make(chan writeOp, opts.QueueDepth),
-		quit:    make(chan struct{}),
-		subs:    make(map[int]*subscriber),
-		plans:   make(map[plannerKey]*plannerEntry),
+		opts:       opts,
+		idx:        idx,
+		mon:        monitor.New(idx),
+		slow:       opts.SlowLog,
+		shardMu:    make([]sync.RWMutex, shards),
+		epochShard: make([]atomic.Uint64, shards),
+		journals:   make([]shardJournal, shards),
+		quit:       make(chan struct{}),
+		subs:       make(map[int]*subscriber),
+		plans:      make(map[plannerKey]*plannerEntry),
 	}
-	e.mx = newEngineMetrics(e, idx.NumTransitionShards())
+	e.seedEpochs(opts.InitialEpochs)
+	e.pipes = make([]*shardPipeline, shards)
+	for s := range e.pipes {
+		e.pipes[s] = &shardPipeline{e: e, shard: s, ch: make(chan writeOp, opts.QueueDepth)}
+	}
+	e.barrier = &shardPipeline{e: e, shard: -1, ch: make(chan writeOp, opts.QueueDepth)}
+	e.mx = newEngineMetrics(e, shards)
 	e.cache = newLRUCache(opts.CacheSize, e.mx.cacheHits, e.mx.cacheMisses)
 	idx.SetObserver(e.mx.observer())
 	e.mon.SetMetrics(e.mx.mon)
-	e.epoch.Store(opts.InitialEpoch)
+	for s := range e.pipes {
+		e.pipes[s].commitHist = e.mx.shardCommit[s]
+		e.wg.Add(1)
+		e.pipesWg.Add(1)
+		go e.pipes[s].run()
+	}
+	e.barrier.commitHist = e.mx.barrierCommit
 	e.wg.Add(1)
-	go e.writer()
+	go e.barrier.run()
 	return e
 }
 
@@ -137,8 +188,10 @@ func (e *Engine) ObserveSnapshotLoad(d time.Duration) {
 	e.mx.snapshotLoad.RecordDuration(d)
 }
 
-// Close stops the writer goroutine. Pending writes fail with ErrClosed;
-// queries keep working (the index stays readable).
+// Close quiesces every write pipeline. Ops still queued (or mid-submit)
+// on any shard fail with ErrClosed; once Close returns, every submitted
+// op has been answered and no writer goroutine remains. Queries keep
+// working — the index stays readable.
 func (e *Engine) Close() {
 	e.closeMu.Lock()
 	if e.closed {
@@ -147,13 +200,12 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.closeMu.Unlock()
+	// closed is now visible to every submitter before quit fires: any
+	// send that won the race is already buffered and will be drained by
+	// its pipeline; any send that lost observes closed and fails fast.
 	close(e.quit)
 	e.wg.Wait()
 }
-
-// Epoch returns the current index version. It advances on every
-// committed write batch and every route change.
-func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 
 // Network returns the attached bus-network graph, or nil.
 func (e *Engine) Network() *graph.Graph { return e.opts.Network }
@@ -167,17 +219,21 @@ type QueryResult struct {
 	Transitions []model.TransitionID
 	Stats       core.Stats
 	Cached      bool // served from the result cache
+	Repaired    bool // cache hit brought forward by journal replay
 	Shared      bool // deduplicated against an identical in-flight query
 	Epoch       uint64
+	Epochs      EpochVec // exact vector the result is valid at
 }
 
-// cachedQuery is a cache entry: the result plus the query it answers, so
-// committed write batches can repair it in place (see repairCacheLocked)
-// instead of discarding it.
+// cachedQuery is a cache entry: the result plus the query it answers
+// and the sub-vector of shards the result depends on, so stale hits
+// can be repaired forward by replaying the shard journals (repair.go)
+// instead of recomputing.
 type cachedQuery struct {
-	res   *QueryResult
-	query []geo.Point // private copy
-	opts  core.Options
+	res     *QueryResult
+	query   []geo.Point // private copy
+	opts    core.Options
+	touched uint64 // shard bitmask: shards that contributed candidates
 }
 
 // RkNNT answers an RkNNT query against the current snapshot, consulting
@@ -188,22 +244,26 @@ type cachedQuery struct {
 func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, error) {
 	opts.Parallel = true
 	t0 := time.Now()
-	epoch := e.epoch.Load()
 	csp := opts.Trace.StartSpan("cache")
 	key := queryKey(query, opts)
 	v, ok := e.cache.Get(key)
 	csp.End()
 	if ok {
-		res := v.(*cachedQuery).res
-		// An entry left behind by a stale in-flight Put misses here and
-		// is overwritten by the recompute (and evicted by the next
-		// repair walk, whichever comes first).
-		if res.Epoch == epoch {
-			opts.Trace.Event("cache_hit", int64(res.Epoch))
+		ent := v.(*cachedQuery)
+		if e.vecIsCurrent(ent.res.Epochs) {
+			opts.Trace.Event("cache_hit", int64(ent.res.Epoch))
 			e.mx.queryLatency.RecordDuration(time.Since(t0))
-			return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Cached: true, Epoch: res.Epoch}, nil
+			res := ent.res
+			return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Cached: true, Epoch: res.Epoch, Epochs: res.Epochs}, nil
 		}
-		opts.Trace.Event("cache_stale", int64(res.Epoch))
+		// Stale on some sub-vector: replay the missed shard journals
+		// instead of recomputing, when they reach back far enough.
+		if res := e.tryRepair(key, ent); res != nil {
+			opts.Trace.Event("cache_repaired", int64(res.Epoch))
+			e.mx.queryLatency.RecordDuration(time.Since(t0))
+			return res, nil
+		}
+		opts.Trace.Event("cache_stale", int64(ent.res.Epoch))
 	}
 	// Slow-query sampling: when no caller trace is attached, record one
 	// speculatively from request arrival; it is kept only if the query
@@ -212,30 +272,33 @@ func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, erro
 	if exOpts.Trace == nil && e.slow != nil {
 		exOpts.Trace = obs.NewTraceAt(t0)
 	}
-	// The flight key carries the epoch so a query never adopts a result
-	// computed over an older snapshot.
-	flightKey := string(binary.LittleEndian.AppendUint64(nil, epoch)) + key
+	// The flight key carries the (fuzzy) epoch vector so a query never
+	// adopts a result computed over an older snapshot than it observed.
+	flightKey := string(e.epochVec().appendBytes(nil)) + key
 	v, err, shared := e.flight.Do(flightKey, func() (any, error) {
-		ids, stats, err := func() ([]model.TransitionID, *core.Stats, error) {
+		ids, stats, vec, err := func() ([]model.TransitionID, *core.Stats, EpochVec, error) {
 			// deferred so a panicking query cannot leave the engine
 			// read-locked (which would wedge the write path for good).
-			e.mu.RLock()
-			defer e.mu.RUnlock()
-			return core.RkNNT(e.idx, query, exOpts)
+			e.rlockAll()
+			defer e.runlockAll()
+			ids, stats, err := core.RkNNT(e.idx, query, exOpts)
+			// Exact under the read locks: no commit is in flight.
+			return ids, stats, e.epochVecQuiescent(), err
 		}()
 		if err != nil {
 			return nil, err
 		}
 		e.mx.addQueryTotals(stats)
-		res := &QueryResult{Transitions: ids, Stats: *stats, Epoch: epoch}
+		res := &QueryResult{Transitions: ids, Stats: *stats, Epoch: vec.Sum(), Epochs: vec}
 		// Cached entries must not retain the finished trace: repairs
 		// reuse the stored options for rank checks only.
 		copts := exOpts
 		copts.Trace = nil
 		e.cache.Put(key, &cachedQuery{
-			res:   res,
-			query: append([]geo.Point(nil), query...),
-			opts:  copts,
+			res:     res,
+			query:   append([]geo.Point(nil), query...),
+			opts:    copts,
+			touched: stats.ShardsTouched,
 		})
 		if e.slow != nil {
 			if d := time.Since(t0); d >= e.slow.Threshold() {
@@ -258,7 +321,7 @@ func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, erro
 		// The sharer's own trace (if any) saw no execution; mark why.
 		opts.Trace.Event("inflight_shared", 0)
 		res := v.(*QueryResult)
-		return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Shared: true, Epoch: res.Epoch}, nil
+		return &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Shared: true, Epoch: res.Epoch, Epochs: res.Epochs}, nil
 	}
 	return v.(*QueryResult), nil
 }
@@ -274,20 +337,20 @@ func (e *Engine) KNNRoutes(p geo.Point, k int) ([]model.RouteID, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.structMu.RLock()
+	defer e.structMu.RUnlock()
 	return core.KNNRoutes(e.idx, p, k), nil
 }
 
-// AddTransition queues one transition for the next write batch and
-// waits for it to commit.
+// AddTransition queues one transition for its home shard's next write
+// batch and waits for it to commit.
 func (e *Engine) AddTransition(t model.Transition) error {
 	return e.submit(writeOp{kind: opAddTransition, t: t}).err
 }
 
 // AddTransitions queues a whole slice before waiting, so the ops
-// coalesce into as few write batches (lock acquisitions, epoch bumps,
-// cache purges) as possible. errs[i] is the outcome of ts[i].
+// coalesce into as few write batches (lock acquisitions, epoch bumps)
+// as possible per shard pipeline. errs[i] is the outcome of ts[i].
 func (e *Engine) AddTransitions(ts []model.Transition) []error {
 	results := e.submitMany(len(ts), func(i int) writeOp {
 		return writeOp{kind: opAddTransition, t: ts[i]}
@@ -323,8 +386,9 @@ func (e *Engine) RemoveTransitions(ids []model.TransitionID) (existed []bool, er
 	return existed, err
 }
 
-// ExpireTransitionsBefore queues a sliding-window expiry and returns
-// how many transitions it removed.
+// ExpireTransitionsBefore queues a sliding-window expiry — a barrier
+// commit spanning every shard — and returns how many transitions it
+// removed.
 func (e *Engine) ExpireTransitionsBefore(cutoff int64) (int, error) {
 	r := e.submit(writeOp{kind: opExpire, cutoff: cutoff})
 	return r.n, r.err
@@ -341,15 +405,16 @@ func (e *Engine) AddRoute(r model.Route) error {
 }
 
 // AddRoutes indexes a batch of routes in one commit. Route changes are
-// rare and structural, so they bypass the transition write queue and
-// take the write lock directly; every standing query is recomputed —
-// once per batch, not once per route. errs[i] is the outcome of rs[i];
+// rare and structural, so they bypass the shard pipelines and take the
+// structural write lock directly (excluding queries and every shard
+// commit at once); every standing query is recomputed — once per
+// batch, not once per route. errs[i] is the outcome of rs[i];
 // recompute is the standing-query recomputation error, if any (the
 // routes themselves are still indexed, and the cache purged).
 func (e *Engine) AddRoutes(rs []model.Route) (errs []error, recompute error) {
 	errs = make([]error, len(rs))
 	changed := 0
-	e.mu.Lock()
+	e.structMu.Lock()
 	for i := range rs {
 		if err := e.idx.AddRoute(rs[i]); err != nil {
 			errs[i] = err
@@ -358,7 +423,7 @@ func (e *Engine) AddRoutes(rs []model.Route) (errs []error, recompute error) {
 		changed++
 	}
 	recompute = e.routesChangedLocked(changed)
-	e.mu.Unlock()
+	e.structMu.Unlock()
 	return errs, recompute
 }
 
@@ -373,7 +438,7 @@ func (e *Engine) RemoveRoute(id model.RouteID) (bool, error) {
 func (e *Engine) RemoveRoutes(ids []model.RouteID) (existed []bool, recompute error) {
 	existed = make([]bool, len(ids))
 	changed := 0
-	e.mu.Lock()
+	e.structMu.Lock()
 	for i, id := range ids {
 		existed[i] = e.idx.RemoveRoute(id)
 		if existed[i] {
@@ -381,23 +446,27 @@ func (e *Engine) RemoveRoutes(ids []model.RouteID) (existed []bool, recompute er
 		}
 	}
 	recompute = e.routesChangedLocked(changed)
-	e.mu.Unlock()
+	e.structMu.Unlock()
 	return existed, recompute
 }
 
-// routesChangedLocked recomputes standing queries, bumps the epoch,
-// purges the cache and broadcasts the deltas after route mutations.
-// Called with e.mu held; everything happens under the lock so deltas
-// reach subscribers in commit order relative to transition batches,
-// and the epoch advances even when recomputation fails so readers
-// never see a mutated index under an old version number.
+// routesChangedLocked recomputes standing queries, bumps the
+// structural epoch, purges the cache (and the now-unreplayable shard
+// journals) and broadcasts the deltas after route mutations. Called
+// with structMu held exclusively — queries and shard commits are all
+// excluded — so deltas reach subscribers in commit order relative to
+// transition batches, and the epoch advances even when recomputation
+// fails so readers never see a mutated index under an old version.
 func (e *Engine) routesChangedLocked(changed int) error {
 	if changed == 0 {
 		return nil
 	}
 	events, err := e.mon.RouteChanged()
-	e.epoch.Add(1)
+	e.epochStruct.Add(1)
 	e.cache.Purge()
+	for s := range e.journals {
+		e.journals[s].reset()
+	}
 	e.mx.cachePurges.Inc()
 	e.broadcast(events)
 	return err
@@ -405,29 +474,31 @@ func (e *Engine) routesChangedLocked(changed int) error {
 
 // Route returns a copy-safe pointer to the indexed route, or nil.
 func (e *Engine) Route(id model.RouteID) *model.Route {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.structMu.RLock()
+	defer e.structMu.RUnlock()
 	return e.idx.Route(id)
 }
 
-// Transition returns the indexed transition, or nil.
+// Transition returns a copy of the indexed transition, or nil. The
+// lookup is safe against concurrent shard commits.
 func (e *Engine) Transition(id model.TransitionID) *model.Transition {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.idx.Transition(id)
+	if t, ok := e.idx.TransitionValue(id); ok {
+		return &t
+	}
+	return nil
 }
 
 // NumRoutes returns the number of indexed routes.
 func (e *Engine) NumRoutes() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.structMu.RLock()
+	defer e.structMu.RUnlock()
 	return e.idx.NumRoutes()
 }
 
 // NumTransitions returns the number of indexed transitions.
 func (e *Engine) NumTransitions() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.rlockAll()
+	defer e.runlockAll()
 	return e.idx.NumTransitions()
 }
 
@@ -436,19 +507,28 @@ func (e *Engine) NumTransitions() int {
 // so no field can tear against another (they may be skewed by writes
 // racing the snapshot, which is inherent to lock-free counters).
 type Stats struct {
-	Epoch       uint64 `json:"epoch"`
-	Routes      int    `json:"routes"`
-	Transitions int    `json:"transitions"`
+	// Epoch is the scalar sum of the vector epoch (wire-compatible);
+	// EpochVector is the full per-shard breakdown.
+	Epoch       uint64   `json:"epoch"`
+	EpochVector EpochVec `json:"epoch_vector"`
+	Routes      int      `json:"routes"`
+	Transitions int      `json:"transitions"`
 
 	// Shards is the TR-tree shard count; ShardSizes the number of
 	// indexed transition endpoints per shard (occupancy).
 	Shards     int   `json:"shards"`
 	ShardSizes []int `json:"shard_sizes"`
 
+	// WriteQueueDepths[s] is the number of ops waiting on shard s's
+	// pipeline; BarrierQueueDepth counts ops waiting on the cross-shard
+	// barrier pipeline (expiry, stale-placement removals).
+	WriteQueueDepths  []int `json:"write_queue_depths"`
+	BarrierQueueDepth int   `json:"barrier_queue_depth"`
+
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
-	CacheRepairs uint64 `json:"cache_repairs"` // entries repaired forward by write batches
+	CacheRepairs uint64 `json:"cache_repairs"` // stale hits repaired forward by journal replay
 	CachePurges  uint64 `json:"cache_purges"`
 	InflightDups uint64 `json:"inflight_dups"`
 
@@ -470,14 +550,19 @@ type Stats struct {
 
 	// Latency summaries, microseconds. Query covers every engine RkNNT
 	// call (cache hits included); Filter/Verify cover executed queries'
-	// core stages; QueueWait and Commit cover the write pipeline.
+	// core stages; QueueWait and Commit cover the write pipelines.
 	QueryLatency  obs.SummaryData `json:"query_latency_micros"`
 	FilterLatency obs.SummaryData `json:"filter_latency_micros"`
 	VerifyLatency obs.SummaryData `json:"verify_latency_micros"`
 	QueueWait     obs.SummaryData `json:"write_queue_wait_micros"`
 	Commit        obs.SummaryData `json:"write_commit_micros"`
 
-	// ShardWrites[s] summarises shard s's portion of batched writes.
+	// ShardCommits[s] summarises shard s's pipeline commit critical
+	// sections; BarrierCommit the cross-shard barrier commits.
+	ShardCommits  []obs.SummaryData `json:"shard_commit_micros"`
+	BarrierCommit obs.SummaryData   `json:"barrier_commit_micros"`
+
+	// ShardWrites[s] summarises shard s's R-tree surgery within commits.
 	ShardWrites []obs.SummaryData `json:"shard_write_micros"`
 
 	ExpirySweep  obs.SummaryData `json:"expiry_sweep_micros"`
@@ -505,51 +590,67 @@ const micros = 1e-3
 // EngineStats returns the current serving counters.
 func (e *Engine) EngineStats() Stats {
 	m := e.mx
-	e.mu.RLock()
+	e.rlockAll()
 	shards := e.idx.NumTransitionShards()
 	shardSizes := e.idx.TransitionShardSizes()
-	e.mu.RUnlock()
+	routes := e.idx.NumRoutes()
+	transitions := e.idx.NumTransitions()
+	vec := e.epochVecQuiescent()
+	e.runlockAll()
 	shardWrites := make([]obs.SummaryData, len(m.shardWrite))
 	for s, h := range m.shardWrite {
 		shardWrites[s] = obs.Summarize(h, micros)
 	}
+	shardCommits := make([]obs.SummaryData, len(m.shardCommit))
+	for s, h := range m.shardCommit {
+		shardCommits[s] = obs.Summarize(h, micros)
+	}
+	queueDepths := make([]int, len(e.pipes))
+	for s, p := range e.pipes {
+		queueDepths[s] = len(p.ch)
+	}
 	filterSum := m.filterLatency.Snapshot()
 	verifySum := m.verifyLatency.Snapshot()
 	return Stats{
-		Epoch:         e.epoch.Load(),
-		Routes:        e.NumRoutes(),
-		Transitions:   e.NumTransitions(),
-		Shards:        shards,
-		ShardSizes:    shardSizes,
-		CacheEntries:  e.cache.Len(),
-		CacheHits:     m.cacheHits.Load(),
-		CacheMisses:   m.cacheMisses.Load(),
-		CacheRepairs:  m.cacheRepairs.Load(),
-		CachePurges:   m.cachePurges.Load(),
-		InflightDups:  m.dedupHits.Load(),
-		Batches:       m.batches.Load(),
-		BatchedOps:    m.batchedOps.Load(),
-		QueriesRun:    m.queriesRun.Load(),
-		Standing:      e.standing.Load(),
-		DroppedEvents: m.dropped.Load(),
-		SlowQueries:   e.slow.Total(),
-		FilterMicros:  int64(filterSum.Sum / 1000),
-		VerifyMicros:  int64(verifySum.Sum / 1000),
-		FilterPoints:  int(m.filterPoints.Load()),
-		FilterRoutes:  int(m.filterRoutes.Load()),
-		RefineNodes:   int(m.refineNodes.Load()),
-		Candidates:    int(m.candidates.Load()),
-		Results:       int(m.results.Load()),
-		QueryLatency:  obs.Summarize(m.queryLatency, micros),
-		FilterLatency: obs.Summarize(m.filterLatency, micros),
-		VerifyLatency: obs.Summarize(m.verifyLatency, micros),
-		QueueWait:     obs.Summarize(m.queueWait, micros),
-		Commit:        obs.Summarize(m.commit, micros),
-		ShardWrites:   shardWrites,
-		ExpirySweep:   obs.Summarize(m.expirySweep, micros),
-		Expired:       m.expirySwept.Load(),
-		SnapshotSave:  obs.Summarize(m.snapshotSave, micros),
-		SnapshotLoad:  obs.Summarize(m.snapshotLoad, micros),
+		Epoch:             vec.Sum(),
+		EpochVector:       vec,
+		Routes:            routes,
+		Transitions:       transitions,
+		Shards:            shards,
+		ShardSizes:        shardSizes,
+		WriteQueueDepths:  queueDepths,
+		BarrierQueueDepth: len(e.barrier.ch),
+		CacheEntries:      e.cache.Len(),
+		CacheHits:         m.cacheHits.Load(),
+		CacheMisses:       m.cacheMisses.Load(),
+		CacheRepairs:      m.cacheRepairs.Load(),
+		CachePurges:       m.cachePurges.Load(),
+		InflightDups:      m.dedupHits.Load(),
+		Batches:           m.batches.Load(),
+		BatchedOps:        m.batchedOps.Load(),
+		QueriesRun:        m.queriesRun.Load(),
+		Standing:          e.standing.Load(),
+		DroppedEvents:     m.dropped.Load(),
+		SlowQueries:       e.slow.Total(),
+		FilterMicros:      int64(filterSum.Sum / 1000),
+		VerifyMicros:      int64(verifySum.Sum / 1000),
+		FilterPoints:      int(m.filterPoints.Load()),
+		FilterRoutes:      int(m.filterRoutes.Load()),
+		RefineNodes:       int(m.refineNodes.Load()),
+		Candidates:        int(m.candidates.Load()),
+		Results:           int(m.results.Load()),
+		QueryLatency:      obs.Summarize(m.queryLatency, micros),
+		FilterLatency:     obs.Summarize(m.filterLatency, micros),
+		VerifyLatency:     obs.Summarize(m.verifyLatency, micros),
+		QueueWait:         obs.Summarize(m.queueWait, micros),
+		Commit:            obs.Summarize(m.commit, micros),
+		ShardCommits:      shardCommits,
+		BarrierCommit:     obs.Summarize(m.barrierCommit, micros),
+		ShardWrites:       shardWrites,
+		ExpirySweep:       obs.Summarize(m.expirySweep, micros),
+		Expired:           m.expirySwept.Load(),
+		SnapshotSave:      obs.Summarize(m.snapshotSave, micros),
+		SnapshotLoad:      obs.Summarize(m.snapshotLoad, micros),
 		Monitor: MonitorStats{
 			Adds:          m.mon.StandingAdds.Load(),
 			Removes:       m.mon.StandingRemoves.Load(),
@@ -562,10 +663,11 @@ func (e *Engine) EngineStats() Stats {
 }
 
 // queryKey builds the cache key: options and the exact query geometry
-// (float bits, so distinct queries never collide). The epoch is NOT part
-// of the key — entries carry their epoch and are repaired forward by
-// committed write batches — but it is prepended for the in-flight dedup
-// key. Parallel is excluded: it cannot change the result.
+// (float bits, so distinct queries never collide). The epoch vector is
+// NOT part of the key — entries carry their vector and are repaired
+// forward from the shard journals — but it is prepended for the
+// in-flight dedup key. Parallel is excluded: it cannot change the
+// result.
 func queryKey(query []geo.Point, opts core.Options) string {
 	buf := make([]byte, 0, 8+8*2+16*len(query)+8)
 	var flags uint64

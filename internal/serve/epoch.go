@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/binary"
+)
+
+// Vector epochs. The engine versions its state with one counter per
+// TR-tree shard plus a structural counter:
+//
+//   - Shards[s] advances when a write batch commits on shard s
+//     (transition adds/removes routed to that shard's pipeline, or a
+//     barrier commit that removed transitions from it).
+//   - Structural advances on route changes — the only mutations that
+//     shift the rank of OTHER transitions and therefore invalidate
+//     every cached result at once.
+//
+// A commit to shard 3 moves only Shards[3]: cached results, planner
+// precomputations and warm-boot seeds compare whole vectors, while
+// wire clients that only need monotonicity read the scalar Sum.
+
+// EpochVec is the engine's version vector. Values returned by the
+// engine are immutable snapshots; treat them as read-only.
+type EpochVec struct {
+	Structural uint64   `json:"structural"`
+	Shards     []uint64 `json:"shards"`
+}
+
+// Sum collapses the vector to a scalar. Every commit advances exactly
+// one counter, so the sum is monotonic and serves as the backward-
+// compatible scalar epoch (healthz, response DTOs, rknnt_epoch).
+func (v EpochVec) Sum() uint64 {
+	s := v.Structural
+	for _, e := range v.Shards {
+		s += e
+	}
+	return s
+}
+
+// Equal reports whether two vectors are identical.
+func (v EpochVec) Equal(o EpochVec) bool {
+	if v.Structural != o.Structural || len(v.Shards) != len(o.Shards) {
+		return false
+	}
+	for i := range v.Shards {
+		if v.Shards[i] != o.Shards[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (v EpochVec) Clone() EpochVec {
+	return EpochVec{Structural: v.Structural, Shards: append([]uint64(nil), v.Shards...)}
+}
+
+// appendBytes serialises the vector for flight keys and snapshots.
+func (v EpochVec) appendBytes(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, v.Structural)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Shards)))
+	for _, e := range v.Shards {
+		buf = binary.LittleEndian.AppendUint64(buf, e)
+	}
+	return buf
+}
+
+// epochVecFromBytes parses appendBytes output; ok is false on any
+// length mismatch.
+func epochVecFromBytes(b []byte) (EpochVec, bool) {
+	if len(b) < 12 {
+		return EpochVec{}, false
+	}
+	v := EpochVec{Structural: binary.LittleEndian.Uint64(b)}
+	n := int(binary.LittleEndian.Uint32(b[8:]))
+	if len(b) != 12+8*n {
+		return EpochVec{}, false
+	}
+	v.Shards = make([]uint64, n)
+	for i := range v.Shards {
+		v.Shards[i] = binary.LittleEndian.Uint64(b[12+8*i:])
+	}
+	return v, true
+}
+
+// seedEpochs initialises the engine's counters from a warm-boot vector.
+// If the stored vector's shard count differs from the live engine's
+// (rebuilt with another shard layout), the leftover counts fold into
+// the structural counter so the scalar Sum — the only thing wire
+// clients compare — never moves backwards across a restart.
+func (e *Engine) seedEpochs(v EpochVec) {
+	carry := v.Structural
+	for s := range e.epochShard {
+		if s < len(v.Shards) {
+			e.epochShard[s].Store(v.Shards[s])
+		}
+	}
+	for s := len(e.epochShard); s < len(v.Shards); s++ {
+		carry += v.Shards[s]
+	}
+	e.epochStruct.Store(carry)
+}
+
+// epochVec reads the current vector without locks. Individual counters
+// are exact but the vector may be torn across concurrent commits; use
+// epochVecQuiescent under the engine read locks for an exact snapshot.
+func (e *Engine) epochVec() EpochVec {
+	v := EpochVec{Structural: e.epochStruct.Load(), Shards: make([]uint64, len(e.epochShard))}
+	for s := range e.epochShard {
+		v.Shards[s] = e.epochShard[s].Load()
+	}
+	return v
+}
+
+// epochVecQuiescent reads the vector while the caller holds the
+// structural and every shard read lock, so no commit is in flight and
+// the snapshot is exact.
+func (e *Engine) epochVecQuiescent() EpochVec { return e.epochVec() }
+
+// vecIsCurrent reports whether v matches the live counters. Lock-free:
+// a concurrent commit may flip the answer, which is the same benign
+// race the scalar epoch check had (serving the hit is linearised just
+// before the commit).
+func (e *Engine) vecIsCurrent(v EpochVec) bool {
+	if v.Structural != e.epochStruct.Load() || len(v.Shards) != len(e.epochShard) {
+		return false
+	}
+	for s := range e.epochShard {
+		if v.Shards[s] != e.epochShard[s].Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// Epoch returns the scalar sum of the vector epoch: monotonic, advances
+// by one per committed write batch and per route change. Kept for wire
+// compatibility; EpochVector returns the full vector.
+func (e *Engine) Epoch() uint64 { return e.epochVec().Sum() }
+
+// EpochVector returns the current vector epoch. The snapshot is
+// lock-free and may be torn across concurrent commits; each component
+// is individually exact and monotonic.
+func (e *Engine) EpochVector() EpochVec { return e.epochVec() }
+
+// rlockAll takes the structural read lock and every shard read lock in
+// ascending order — the canonical query-side lock set. Commits take
+// (structMu.R, shardMu[s].W) and barriers (structMu.R, all shardMu.W in
+// the same ascending order), so lock acquisition is globally ordered
+// and deadlock-free.
+func (e *Engine) rlockAll() {
+	e.structMu.RLock()
+	for s := range e.shardMu {
+		e.shardMu[s].RLock()
+	}
+}
+
+func (e *Engine) runlockAll() {
+	for s := len(e.shardMu) - 1; s >= 0; s-- {
+		e.shardMu[s].RUnlock()
+	}
+	e.structMu.RUnlock()
+}

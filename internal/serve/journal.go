@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Per-shard delta journals.
+//
+// The old engine repaired every cached result inside every write
+// commit: O(cache) rank checks and reallocations per batch, which
+// profiling showed was more than half the total write cost. With one
+// journal per shard, a commit only appends its net delta — O(batch) —
+// and a cached result is repaired lazily at read time, replaying just
+// the batches it missed. Reads that never come back never pay; hot
+// reads replay one or two tiny deltas.
+//
+// Replay is order-insensitive by construction, so journal batches from
+// different shards need no global ordering: removals splice by ID, and
+// adds are verified against the CURRENT index (liveness + rank check)
+// rather than trusting historical values — see repair.go for the
+// argument.
+
+// journalBatch is the net effect of one committed write batch on one
+// shard, folded in op order.
+type journalBatch struct {
+	epoch   uint64 // the shard epoch this batch advanced TO
+	added   []model.TransitionID
+	removed []model.TransitionID
+}
+
+// journalCap is the per-shard retention: a reader further behind than
+// this many batches recomputes instead of repairing.
+const journalCap = 256
+
+// journalOpCap bounds total IDs retained per shard journal, so a few
+// huge batches cannot pin unbounded memory.
+const journalOpCap = 8192
+
+// shardJournal is one shard's bounded ring of recent commit deltas.
+// Appends happen under the shard's write lock (one writer at a time);
+// reads happen under the engine read locks from concurrent repairs, so
+// a mutex still guards the slice itself.
+type shardJournal struct {
+	mu      sync.Mutex
+	batches []journalBatch // ascending, contiguous epochs
+	ops     int            // total IDs across batches
+}
+
+// append records a committed batch that advanced the shard to epoch.
+func (j *shardJournal) append(b journalBatch) {
+	j.mu.Lock()
+	j.batches = append(j.batches, b)
+	j.ops += len(b.added) + len(b.removed)
+	for len(j.batches) > journalCap || j.ops > journalOpCap {
+		j.ops -= len(j.batches[0].added) + len(j.batches[0].removed)
+		j.batches = j.batches[1:]
+	}
+	j.mu.Unlock()
+}
+
+// since returns the batches covering shard epochs (from, to], oldest
+// first. ok is false when the journal no longer reaches back to from
+// (evicted) — the caller must recompute. The returned batches are
+// shared read-only views.
+func (j *shardJournal) since(from, to uint64) ([]journalBatch, bool) {
+	if from == to {
+		return nil, true
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := len(j.batches)
+	if n == 0 || j.batches[0].epoch > from+1 || j.batches[n-1].epoch < to {
+		return nil, false
+	}
+	// Epochs are contiguous: batch i holds epoch first+i.
+	first := j.batches[0].epoch
+	lo := int(from + 1 - first)
+	hi := int(to + 1 - first)
+	if lo < 0 || hi > n {
+		return nil, false
+	}
+	return j.batches[lo:hi], true
+}
+
+// reset drops every retained batch (route changes purge the cache, so
+// nothing left can ever be replayed).
+func (j *shardJournal) reset() {
+	j.mu.Lock()
+	j.batches = nil
+	j.ops = 0
+	j.mu.Unlock()
+}

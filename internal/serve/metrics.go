@@ -31,12 +31,14 @@ type engineMetrics struct {
 	cachePurges  *obs.Counter
 	dedupHits    *obs.Counter
 
-	// Write pipeline.
-	batches    *obs.Counter
-	batchedOps *obs.Counter
-	queueWait  *obs.Histogram // submit -> batch application start
-	commit     *obs.Histogram // write-lock critical section per batch
-	shardWrite []*obs.Histogram
+	// Write pipelines.
+	batches       *obs.Counter
+	batchedOps    *obs.Counter
+	queueWait     *obs.Histogram   // submit -> batch application start
+	commit        *obs.Histogram   // commit critical section, all pipelines
+	shardCommit   []*obs.Histogram // per shard pipeline commit critical section
+	barrierCommit *obs.Histogram   // cross-shard barrier commits
+	shardWrite    []*obs.Histogram
 
 	// Expiry + snapshots.
 	expirySweep  *obs.Histogram
@@ -112,9 +114,29 @@ func newEngineMetrics(e *Engine, shards int) *engineMetrics {
 	for s := range m.shardWrite {
 		m.shardWrite[s] = sw.With(strconv.Itoa(s))
 	}
+	sc := reg.HistogramVec("rknnt_shard_commit_seconds", "Commit critical-section duration per shard write pipeline.", nanos, "shard")
+	m.shardCommit = make([]*obs.Histogram, shards)
+	for s := range m.shardCommit {
+		m.shardCommit[s] = sc.With(strconv.Itoa(s))
+	}
+	m.barrierCommit = sc.With("barrier")
 
-	reg.GaugeFunc("rknnt_epoch", "Current index version; advances per committed batch and route change.", func() float64 {
-		return float64(e.epoch.Load())
+	reg.GaugeFunc("rknnt_epoch", "Current index version, the sum of the epoch vector; advances per committed batch and route change.", func() float64 {
+		return float64(e.Epoch())
+	})
+	reg.GaugeFunc("rknnt_epoch_structural", "Structural component of the epoch vector; advances on route changes.", func() float64 {
+		return float64(e.epochStruct.Load())
+	})
+	reg.GaugeVecFunc("rknnt_shard_epoch", "Per-shard components of the epoch vector; each advances when a write batch commits on that shard.", []string{"shard"}, func(emit func([]string, float64)) {
+		for s := range e.epochShard {
+			emit([]string{strconv.Itoa(s)}, float64(e.epochShard[s].Load()))
+		}
+	})
+	reg.GaugeVecFunc("rknnt_write_queue_depth", "Ops waiting on each shard's write pipeline (label \"barrier\": the cross-shard pipeline).", []string{"shard"}, func(emit func([]string, float64)) {
+		for s, p := range e.pipes {
+			emit([]string{strconv.Itoa(s)}, float64(len(p.ch)))
+		}
+		emit([]string{"barrier"}, float64(len(e.barrier.ch)))
 	})
 	reg.GaugeFunc("rknnt_routes", "Indexed routes.", func() float64 {
 		return float64(e.NumRoutes())
@@ -132,9 +154,9 @@ func newEngineMetrics(e *Engine, shards int) *engineMetrics {
 		return float64(e.slow.Total())
 	})
 	reg.GaugeVecFunc("rknnt_shard_points", "Indexed transition endpoints per TR-tree shard (occupancy).", []string{"shard"}, func(emit func([]string, float64)) {
-		e.mu.RLock()
+		e.rlockAll()
 		sizes := e.idx.TransitionShardSizes()
-		e.mu.RUnlock()
+		e.runlockAll()
 		for s, n := range sizes {
 			emit([]string{strconv.Itoa(s)}, float64(n))
 		}

@@ -17,8 +17,8 @@ type plannerKey struct {
 }
 
 type plannerEntry struct {
-	epoch uint64
-	pre   *planner.Precomputed
+	epochs EpochVec // exact vector the precomputation is valid at
+	pre    *planner.Precomputed
 }
 
 // ErrNoNetwork is returned by Plan when the engine was built without a
@@ -72,31 +72,32 @@ func (e *Engine) precomputed(k int, method core.Method) (*planner.Precomputed, e
 		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
 	}
 	key := plannerKey{k: k, method: method}
-	epoch := e.epoch.Load()
+	vec := e.epochVec()
 	e.planMu.Lock()
-	if ent, ok := e.plans[key]; ok && ent.epoch == epoch {
+	if ent, ok := e.plans[key]; ok && e.vecIsCurrent(ent.epochs) {
 		e.planMu.Unlock()
 		return ent.pre, nil
 	}
 	e.planMu.Unlock()
 
-	flightKey := fmt.Sprintf("plan/%d/%d/%d", epoch, k, method)
+	flightKey := fmt.Sprintf("plan/%d/%d/", k, method) + string(vec.appendBytes(nil))
 	v, err, _ := e.flight.Do(flightKey, func() (any, error) {
-		// The epoch is re-read under the read lock (which holds writers
-		// out), so the entry is labelled with the epoch of the snapshot
-		// actually precomputed over — not a stale pre-lock value that
-		// would make this expensive computation dead on arrival.
-		pre, cur, err := func() (*planner.Precomputed, uint64, error) {
-			e.mu.RLock()
-			defer e.mu.RUnlock()
+		// The vector is re-read under the read locks (which hold every
+		// writer out, making it exact), so the entry is labelled with
+		// the vector of the snapshot actually precomputed over — not a
+		// stale pre-lock value that would make this expensive
+		// computation dead on arrival.
+		pre, cur, err := func() (*planner.Precomputed, EpochVec, error) {
+			e.rlockAll()
+			defer e.runlockAll()
 			pre, err := planner.Precompute(e.idx, e.opts.Network, k, method)
-			return pre, e.epoch.Load(), err
+			return pre, e.epochVecQuiescent(), err
 		}()
 		if err != nil {
 			return nil, err
 		}
 		e.planMu.Lock()
-		e.storePlanLocked(key, &plannerEntry{epoch: cur, pre: pre})
+		e.storePlanLocked(key, &plannerEntry{epochs: cur, pre: pre})
 		e.planMu.Unlock()
 		return pre, nil
 	})
@@ -113,13 +114,14 @@ const maxPlannerEntries = 4
 
 func (e *Engine) storePlanLocked(key plannerKey, ent *plannerEntry) {
 	// A precompute that raced a write may arrive labelled with an older
-	// epoch; never let it displace fresher work.
-	if old, ok := e.plans[key]; ok && old.epoch >= ent.epoch {
+	// vector; never let it displace fresher work. Vectors are ordered by
+	// their scalar sum, which every commit advances by at least one.
+	if old, ok := e.plans[key]; ok && old.epochs.Sum() >= ent.epochs.Sum() {
 		return
 	}
 	for k2, old := range e.plans {
-		if old.epoch < ent.epoch {
-			delete(e.plans, k2) // staler epoch: never served again
+		if old.epochs.Sum() < ent.epochs.Sum() {
+			delete(e.plans, k2) // staler vector: never served again
 		}
 	}
 	if len(e.plans) >= maxPlannerEntries {

@@ -9,25 +9,152 @@ import (
 
 // Delta repair of cached query results.
 //
-// A committed transition batch used to purge the whole result cache:
-// every hot query then recomputed from scratch at full filter-refine
-// cost. But transition writes cannot shift the rank of any OTHER
-// transition — results for different transitions are independent — so a
-// cached RkNNT answer can instead be repaired in place: every removed ID
-// is dropped from the result list, and every added transition is rank-
-// checked against the cached query (two TakesQueryAsKNN calls, the same
-// exact primitive the standing-query monitor uses) and merged in if it
-// qualifies. Repair costs microseconds per entry per write; a recompute
-// costs milliseconds. Route changes still purge — they shift every rank.
+// Transition writes cannot shift the rank of any OTHER transition —
+// results for different transitions are independent — so a cached
+// RkNNT answer does not need recomputing when transitions change: every
+// removed ID is dropped from the result list, and every added
+// transition is rank-checked against the cached query (two
+// TakesQueryAsKNN calls, the same exact primitive the standing-query
+// monitor uses) and merged in if it qualifies. Repair costs
+// microseconds per entry; a recompute costs milliseconds. Route changes
+// still purge — they shift every rank.
+//
+// The engine repairs LAZILY: a commit only appends its delta to the
+// shard's journal (journal.go), and a stale cache hit replays, at read
+// time, exactly the journal batches its epoch sub-vector missed.
+// Entries that are never read again never pay. The pre-vector engine
+// instead walked the whole cache inside every commit — that eager walk
+// survives as repairEagerLocked for Options.SinglePipeline, the
+// benchmark's reference configuration.
+//
+// Replay is order-insensitive, so batches gathered from different shard
+// journals need no global ordering: ALL removals splice first, then
+// every add is verified against the CURRENT index — a liveness lookup
+// (the ID may have been re-removed by a later batch, possibly on
+// another shard) and a rank check with the transition's CURRENT
+// geometry (a later re-add may have moved it). Replaying [remove X]
+// before or after [re-add X] therefore converges to the same answer:
+// whatever the live index says about X now.
 
-// repairAddBudget caps adds × cached-entries per batch; beyond it a
-// purge-and-recompute is cheaper than rank-checking every pair.
+// repairReplayOps caps the journal ops (adds + removals) one repair may
+// replay; beyond it a recompute is cheaper than the rank checks.
+const repairReplayOps = 1024
+
+// repairAddBudget caps adds x cached-entries per eager repair walk
+// (SinglePipeline); beyond it a purge-and-recompute is cheaper.
 const repairAddBudget = 32768
+
+// tryRepair brings a stale cache hit forward to the current epoch
+// vector by replaying the shard journals it missed, under the engine
+// read locks (so the replay target is an exact, quiescent snapshot).
+// It returns nil when repair is not possible — the structural epoch
+// moved (route ranks shifted), a journal no longer reaches back far
+// enough, or the replay would exceed budget — and the caller falls
+// through to a full recompute.
+//
+// Removal batches from shards outside the entry's touched sub-vector
+// are skipped: both endpoints of a transition live on one shard, so a
+// result can only name transitions from touched shards. Adds are never
+// skipped — a new transition on ANY shard may rank into any result —
+// and each replayed add from a new shard widens the entry's mask.
+func (e *Engine) tryRepair(key string, ent *cachedQuery) *QueryResult {
+	old := ent.res.Epochs
+	e.rlockAll()
+	defer e.runlockAll()
+	cur := e.epochVecQuiescent()
+	if old.Structural != cur.Structural || len(old.Shards) != len(cur.Shards) {
+		return nil
+	}
+	var adds []model.TransitionID
+	var removedSet map[model.TransitionID]bool
+	touched := ent.touched
+	ops := 0
+	for s := range cur.Shards {
+		if old.Shards[s] == cur.Shards[s] {
+			continue
+		}
+		shardTouched := s >= 64 || touched&(1<<uint(s)) != 0
+		bs, ok := e.journals[s].since(old.Shards[s], cur.Shards[s])
+		if !ok {
+			return nil
+		}
+		for _, b := range bs {
+			adds = append(adds, b.added...)
+			ops += len(b.added)
+			if shardTouched {
+				ops += len(b.removed)
+				for _, id := range b.removed {
+					if removedSet == nil {
+						removedSet = make(map[model.TransitionID]bool)
+					}
+					removedSet[id] = true
+				}
+			}
+		}
+		if ops > repairReplayOps {
+			return nil
+		}
+	}
+
+	ids := ent.res.Transitions
+	changed := false
+	if removedSet != nil {
+		kept := ids[:0:0]
+		for _, id := range ids {
+			if removedSet[id] {
+				changed = true
+				continue
+			}
+			kept = append(kept, id)
+		}
+		if changed {
+			ids = kept
+		}
+	}
+	for _, id := range adds {
+		t, live := e.idx.TransitionValue(id)
+		if !live {
+			continue // re-removed by a later batch (any shard)
+		}
+		if !inWindow(ent.opts, &t) || !e.transitionMatches(ent, &t) {
+			continue
+		}
+		i := sort.Search(len(ids), func(i int) bool { return ids[i] >= t.ID })
+		if i < len(ids) && ids[i] == t.ID {
+			continue
+		}
+		if !changed {
+			ids = append([]model.TransitionID(nil), ids...)
+			changed = true
+		}
+		ids = append(ids, 0)
+		copy(ids[i+1:], ids[i:])
+		ids[i] = t.ID
+		if s, ok := e.idx.ShardOf(t.ID); ok && s < 64 {
+			touched |= 1 << uint(s)
+		}
+	}
+
+	stats := ent.res.Stats
+	stats.Results = len(ids)
+	stats.ShardsTouched = touched
+	res := &QueryResult{Transitions: ids, Stats: stats, Cached: true, Repaired: true, Epoch: cur.Sum(), Epochs: cur}
+	e.cache.Update(key, ent, &cachedQuery{
+		res:     &QueryResult{Transitions: ids, Stats: stats, Epoch: res.Epoch, Epochs: cur},
+		query:   ent.query,
+		opts:    ent.opts,
+		touched: touched,
+	})
+	e.mx.cacheRepairs.Inc()
+	return res
+}
 
 // batchDelta is the net effect of one coalesced write batch on the
 // transition set, folded in op order: whatever a transition's final
-// disposition is within the batch wins (an add followed by a remove is a
-// removal; a remove followed by a re-add is an add with the new data).
+// disposition is within the batch wins (an add followed by a remove is
+// a removal; a remove followed by a re-add is an add with the new
+// data). Only the eager path needs this folding — lazy replay is
+// order-insensitive and works from raw ID lists.
 type batchDelta struct {
 	added   map[model.TransitionID]model.Transition
 	removed map[model.TransitionID]bool
@@ -53,33 +180,35 @@ func (d *batchDelta) remove(id model.TransitionID) {
 	delete(d.added, id)
 }
 
-// repairCacheLocked walks the result cache after a transition batch
-// commits, bringing every up-to-date entry forward to newEpoch. Entries
-// whose epoch does not match the batch's predecessor are stragglers from
-// an in-flight Put that raced an earlier commit; they are evicted.
-// Called with e.mu held (the batch's write critical section), so the
-// rank checks observe exactly the post-batch index.
-func (e *Engine) repairCacheLocked(newEpoch uint64, delta *batchDelta) {
+// repairEagerLocked walks the whole result cache inside a barrier
+// commit, bringing every entry at oldVec forward to the post-commit
+// vector — the pre-vector-epoch engine's write path, kept for
+// Options.SinglePipeline. Entries at any other vector are stragglers
+// from an in-flight Put that raced an earlier commit; with no journals
+// to repair them later (SinglePipeline appends none), they are evicted.
+// Called with the structural and every shard lock held exclusively, so
+// the rank checks observe exactly the post-batch index.
+func (e *Engine) repairEagerLocked(oldVec EpochVec, delta *batchDelta) {
 	if len(delta.added)*e.cache.Len() > repairAddBudget {
 		e.cache.Purge()
 		e.mx.cachePurges.Inc()
 		return
 	}
-	oldEpoch := newEpoch - 1
+	newVec := e.epochVecQuiescent()
 	removedSet := delta.removed
 	added := make([]model.Transition, 0, len(delta.added))
 	for id, t := range delta.added {
 		// Belt and braces: only transitions still live in the index may
 		// enter cached results (the rank check itself is purely
 		// geometric and would not notice a dead one).
-		if e.idx.Transition(id) != nil {
+		if _, live := e.idx.TransitionValue(id); live {
 			added = append(added, t)
 		}
 	}
 	repaired := 0
 	e.cache.RepairAll(func(v any) any {
 		ent := v.(*cachedQuery)
-		if ent.res.Epoch != oldEpoch {
+		if !ent.res.Epochs.Equal(oldVec) {
 			return nil // stale straggler: evict
 		}
 		ids := ent.res.Transitions
@@ -121,9 +250,10 @@ func (e *Engine) repairCacheLocked(newEpoch uint64, delta *batchDelta) {
 		stats := ent.res.Stats
 		stats.Results = len(ids)
 		return &cachedQuery{
-			res:   &QueryResult{Transitions: ids, Stats: stats, Epoch: newEpoch},
-			query: ent.query,
-			opts:  ent.opts,
+			res:     &QueryResult{Transitions: ids, Stats: stats, Epoch: newVec.Sum(), Epochs: newVec},
+			query:   ent.query,
+			opts:    ent.opts,
+			touched: ent.touched,
 		}
 	})
 	e.mx.cacheRepairs.Add(uint64(repaired))

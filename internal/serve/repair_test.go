@@ -110,8 +110,8 @@ func TestRepairedCacheMatchesFresh(t *testing.T) {
 			t.Fatal(err)
 		}
 		want, _, err := func() ([]model.TransitionID, *core.Stats, error) {
-			e.mu.RLock()
-			defer e.mu.RUnlock()
+			e.rlockAll()
+			defer e.runlockAll()
 			return core.RkNNT(e.idx, q, opts)
 		}()
 		if err != nil {
@@ -132,8 +132,8 @@ func TestRepairedCacheMatchesFresh(t *testing.T) {
 // into ONE write batch must net out to "never existed" — repairing
 // removals-then-adds from flat lists would rank-check the already-dead
 // transition (the check is purely geometric) and serve its ID from
-// cache forever. applyBatch is driven directly so the coalescing is
-// deterministic.
+// cache forever. The shard pipeline's apply is driven directly so the
+// coalescing is deterministic.
 func TestRepairAddRemoveSameBatch(t *testing.T) {
 	x := twoRoutes(t, model.Transition{ID: 7, O: geo.Pt(1, 1), D: geo.Pt(9, 1)})
 	e := New(x, Options{})
@@ -150,7 +150,7 @@ func TestRepairAddRemoveSameBatch(t *testing.T) {
 		mk(opAddTransition, ghost, 0),
 		mk(opRemoveTransition, model.Transition{}, 8),
 	}
-	e.applyBatch(batch)
+	e.pipes[e.idx.HomeShard(8)].applyShard(batch)
 	for _, op := range batch {
 		<-op.done
 	}
@@ -172,7 +172,7 @@ func TestRepairAddRemoveSameBatch(t *testing.T) {
 		mk(opRemoveTransition, model.Transition{}, 7),
 		mk(opAddTransition, model.Transition{ID: 7, O: geo.Pt(1, 1), D: geo.Pt(9, 1)}, 0),
 	}
-	e.applyBatch(batch)
+	e.pipes[e.idx.HomeShard(7)].applyShard(batch)
 	for _, op := range batch {
 		<-op.done
 	}

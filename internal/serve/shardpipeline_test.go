@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// shardedTestIndex builds a deterministic multi-route index with the
+// given TR-tree shard count, so per-shard pipeline behaviour is
+// exercised even on single-processor hosts (where the default shard
+// count is 1).
+func shardedTestIndex(t testing.TB, shards int) *index.Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	ds := &model.Dataset{}
+	stopPts := make([]geo.Point, 40)
+	for i := range stopPts {
+		stopPts[i] = geo.Pt(rng.Float64()*50, rng.Float64()*50)
+	}
+	for r := 0; r < 24; r++ {
+		n := 2 + rng.Intn(4)
+		route := model.Route{ID: int32(r + 1)}
+		for i := 0; i < n; i++ {
+			s := int32(rng.Intn(len(stopPts)))
+			route.Stops = append(route.Stops, s)
+			route.Pts = append(route.Pts, stopPts[s])
+		}
+		ds.Routes = append(ds.Routes, route)
+	}
+	x, err := index.BuildOpts(ds, index.Options{TRShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestVectorEpochPerShardAdvance pins the vector-epoch contract: a
+// commit routed to shard s advances Shards[s] and nothing else, a route
+// change advances only Structural, and the scalar Epoch is always the
+// sum.
+func TestVectorEpochPerShardAdvance(t *testing.T) {
+	e := New(shardedTestIndex(t, 4), Options{})
+	defer e.Close()
+
+	base := e.EpochVector()
+	id := model.TransitionID(50_001)
+	home := e.idx.HomeShard(id)
+	if err := e.AddTransition(model.Transition{ID: id, O: geo.Pt(1, 1), D: geo.Pt(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := e.EpochVector()
+	if v1.Shards[home] != base.Shards[home]+1 {
+		t.Errorf("shard %d epoch = %d, want %d", home, v1.Shards[home], base.Shards[home]+1)
+	}
+	if v1.Structural != base.Structural {
+		t.Errorf("structural moved on a transition write: %d -> %d", base.Structural, v1.Structural)
+	}
+	for s := range v1.Shards {
+		if s != home && v1.Shards[s] != base.Shards[s] {
+			t.Errorf("shard %d epoch moved (%d -> %d) on a shard-%d commit", s, base.Shards[s], v1.Shards[s], home)
+		}
+	}
+	if e.Epoch() != v1.Sum() {
+		t.Errorf("Epoch() = %d, want vector sum %d", e.Epoch(), v1.Sum())
+	}
+
+	if err := e.AddRoute(model.Route{ID: 900, Stops: []model.StopID{0, 1}, Pts: []geo.Point{geo.Pt(0, 0), geo.Pt(5, 5)}}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := e.EpochVector()
+	if v2.Structural != v1.Structural+1 {
+		t.Errorf("structural = %d after route change, want %d", v2.Structural, v1.Structural+1)
+	}
+	for s := range v2.Shards {
+		if v2.Shards[s] != v1.Shards[s] {
+			t.Errorf("shard %d epoch moved on a route change", s)
+		}
+	}
+}
+
+// TestCacheSurvivesOtherShardCommit is the point of the vector epoch: a
+// cached result whose touched shards are quiet stays a valid cache hit
+// (no recompute, no repair) while OTHER shards absorb writes.
+func TestCacheSurvivesOtherShardCommit(t *testing.T) {
+	e := New(shardedTestIndex(t, 4), Options{})
+	defer e.Close()
+
+	q := []geo.Point{geo.Pt(5, 5), geo.Pt(25, 25)}
+	first, err := e.RkNNT(q, core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := first.Stats.ShardsTouched
+
+	// Find an ID homed on a shard outside the result's touched mask.
+	// Removing it is a commit on an untouched shard only.
+	var id model.TransitionID
+	var home int
+	for cand := model.TransitionID(60_000); ; cand++ {
+		home = e.idx.HomeShard(cand)
+		if touched&(1<<uint(home)) == 0 {
+			id = cand
+			break
+		}
+	}
+	if err := e.AddTransition(model.Transition{ID: id, O: geo.Pt(49, 49), D: geo.Pt(49.5, 49.5)}); err != nil {
+		t.Fatal(err)
+	}
+	// The add may rank into the cached result, so the first re-query is
+	// allowed to repair. Re-prime, then hit the untouched shard again
+	// with a pure removal — which cannot affect the result.
+	primed, err := e.RkNNT(q, core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RemoveTransition(id); err != nil {
+		t.Fatal(err)
+	}
+	repairsBefore := e.EngineStats().CacheRepairs
+	res, err := e.RkNNT(q, core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("query after untouched-shard commit was not a cache hit")
+	}
+	if !reflect.DeepEqual(res.Transitions, primed.Transitions) {
+		t.Fatalf("result changed across an unrelated commit: %v != %v", res.Transitions, primed.Transitions)
+	}
+	if res.Repaired {
+		// A pure removal on an untouched shard must be skipped by the
+		// replay, making the repair a no-op splice; reaching here with
+		// Repaired set means the sub-vector shortcut regressed to a full
+		// replay of an irrelevant delta. That is a quality property, not
+		// correctness, so only report it.
+		if got := e.EngineStats().CacheRepairs; got != repairsBefore+1 {
+			t.Errorf("CacheRepairs = %d, want %d", got, repairsBefore+1)
+		}
+	}
+}
+
+// TestRepairMatchesPurgeOracle is the differential acceptance test for
+// lazy journal repair: a normal engine (journals + read-time replay)
+// and an oracle engine (Options.PurgeOnWrite: every commit purges, so
+// every read recomputes) receive the same interleaved per-shard write
+// stream, and every query answer must be byte-identical.
+func TestRepairMatchesPurgeOracle(t *testing.T) {
+	mk := func(purge bool) *Engine {
+		return New(shardedTestIndex(t, 4), Options{PurgeOnWrite: purge})
+	}
+	subject, oracle := mk(false), mk(true)
+	defer subject.Close()
+	defer oracle.Close()
+
+	rng := rand.New(rand.NewSource(23))
+	queries := make([][]geo.Point, 5)
+	for i := range queries {
+		queries[i] = []geo.Point{
+			geo.Pt(rng.Float64()*50, rng.Float64()*50),
+			geo.Pt(rng.Float64()*50, rng.Float64()*50),
+		}
+	}
+	optsSet := []core.Options{
+		{K: 3},
+		{K: 5, Semantics: core.ForAll},
+		{K: 4, TimeFrom: 50, TimeTo: 20_000},
+	}
+	live := []model.TransitionID{}
+	nextID := model.TransitionID(1)
+	now := int64(100)
+	for step := 0; step < 200; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6 || len(live) == 0:
+			tr := model.Transition{
+				ID: nextID,
+				O:  geo.Pt(rng.Float64()*50, rng.Float64()*50),
+				D:  geo.Pt(rng.Float64()*50, rng.Float64()*50),
+			}
+			if rng.Intn(3) == 0 {
+				tr.Time = now
+				now += 7
+			}
+			nextID++
+			if err := subject.AddTransition(tr); err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.AddTransition(tr); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, tr.ID)
+		case op < 8:
+			k := rng.Intn(len(live))
+			victim := live[k]
+			live = append(live[:k], live[k+1:]...)
+			if _, err := subject.RemoveTransition(victim); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := oracle.RemoveTransition(victim); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			cutoff := now - int64(rng.Intn(300))
+			if _, err := subject.ExpireTransitionsBefore(cutoff); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := oracle.ExpireTransitionsBefore(cutoff); err != nil {
+				t.Fatal(err)
+			}
+			kept := live[:0]
+			for _, id := range live {
+				if subject.Transition(id) != nil {
+					kept = append(kept, id)
+				}
+			}
+			live = kept
+		}
+		q := queries[rng.Intn(len(queries))]
+		opts := optsSet[rng.Intn(len(optsSet))]
+		got, err := subject.RkNNT(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.RkNNT(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Transitions, want.Transitions) &&
+			!(len(got.Transitions) == 0 && len(want.Transitions) == 0) {
+			t.Fatalf("step %d: repaired %v != oracle %v", step, got.Transitions, want.Transitions)
+		}
+	}
+	st := subject.EngineStats()
+	if st.CacheRepairs == 0 {
+		t.Fatal("interleaved churn never exercised journal repair")
+	}
+	if ost := oracle.EngineStats(); ost.CacheRepairs != 0 {
+		t.Fatalf("oracle repaired %d entries; PurgeOnWrite must recompute everything", ost.CacheRepairs)
+	}
+}
+
+// TestSinglePipelineMatchesSharded pins the compat mode used as the
+// benchmark baseline: Options.SinglePipeline (one barrier pipeline,
+// eager in-commit repair) must agree with the sharded engine on the
+// same write stream.
+func TestSinglePipelineMatchesSharded(t *testing.T) {
+	sharded := New(shardedTestIndex(t, 4), Options{})
+	single := New(shardedTestIndex(t, 4), Options{SinglePipeline: true})
+	defer sharded.Close()
+	defer single.Close()
+
+	rng := rand.New(rand.NewSource(31))
+	q := []geo.Point{geo.Pt(10, 10), geo.Pt(35, 35)}
+	for step := 0; step < 80; step++ {
+		tr := model.Transition{
+			ID: model.TransitionID(step + 1),
+			O:  geo.Pt(rng.Float64()*50, rng.Float64()*50),
+			D:  geo.Pt(rng.Float64()*50, rng.Float64()*50),
+		}
+		if err := sharded.AddTransition(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.AddTransition(tr); err != nil {
+			t.Fatal(err)
+		}
+		if step%3 == 0 {
+			victim := model.TransitionID(rng.Intn(step+1) + 1)
+			if _, err := sharded.RemoveTransition(victim); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := single.RemoveTransition(victim); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := sharded.RkNNT(q, core.Options{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.RkNNT(q, core.Options{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Transitions, want.Transitions) &&
+			!(len(got.Transitions) == 0 && len(want.Transitions) == 0) {
+			t.Fatalf("step %d: sharded %v != single-pipeline %v", step, got.Transitions, want.Transitions)
+		}
+	}
+	// The single-pipeline engine advances exactly one epoch counter per
+	// commit through the barrier; its per-shard counters still track the
+	// shards its batches touched.
+	if single.EpochVector().Sum() == 0 {
+		t.Fatal("single-pipeline engine never advanced its epoch")
+	}
+}
+
+// TestCloseDrainsConcurrentMultiShardWrites races Close against writers
+// targeting every shard at once. The contract: Close returns (no
+// deadlock between pipelines, forwards and the barrier), every
+// submitted op gets exactly one deterministic answer — success or
+// ErrClosed, nothing else — and the index stays readable afterwards.
+func TestCloseDrainsConcurrentMultiShardWrites(t *testing.T) {
+	e := New(shardedTestIndex(t, 4), Options{QueueDepth: 8, MaxBatch: 4})
+
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers*perWriter)
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				id := model.TransitionID(100_000 + w*perWriter + i)
+				var err error
+				switch i % 3 {
+				case 0, 1:
+					err = e.AddTransition(model.Transition{ID: id, O: geo.Pt(1, 2), D: geo.Pt(3, 4)})
+				case 2:
+					_, err = e.RemoveTransition(id - 1)
+				}
+				errCh <- err
+			}
+		}(w)
+	}
+	close(start)
+	e.Close() // races the writers by design
+	wg.Wait()
+	close(errCh)
+
+	for err := range errCh {
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("op failed with %v; want nil or ErrClosed", err)
+		}
+	}
+	// Submissions after Close fail fast and deterministically.
+	for i := 0; i < 10; i++ {
+		if err := e.AddTransition(model.Transition{ID: 1, O: geo.Pt(0, 0), D: geo.Pt(1, 1)}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("post-close add: err = %v, want ErrClosed", err)
+		}
+	}
+	if _, err := e.RkNNT(queryY0, core.Options{K: 2}); err != nil {
+		t.Fatalf("read after close failed: %v", err)
+	}
+	e.Close() // idempotent
+}
+
+// TestForeignRemovalForwardsToBarrier covers removals whose committed
+// placement disagrees with the routed pipeline: bulk-built transitions
+// are dealt to shards round-robin, not by home-shard hash, so removing
+// them through the engine exercises the forward-to-barrier path.
+func TestForeignRemovalForwardsToBarrier(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ds := &model.Dataset{}
+	route := model.Route{ID: 1}
+	for i := 0; i < 4; i++ {
+		route.Stops = append(route.Stops, int32(i))
+		route.Pts = append(route.Pts, geo.Pt(float64(i*3), 0))
+	}
+	ds.Routes = []model.Route{route}
+	var ids []model.TransitionID
+	for i := 0; i < 64; i++ {
+		id := model.TransitionID(i + 1)
+		ids = append(ids, id)
+		ds.Transitions = append(ds.Transitions, model.Transition{
+			ID: id,
+			O:  geo.Pt(rng.Float64()*10, rng.Float64()*10),
+			D:  geo.Pt(rng.Float64()*10, rng.Float64()*10),
+		})
+	}
+	x, err := index.BuildOpts(ds, index.Options{TRShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a transition the bulk deal placed off its home shard — the
+	// stale-placement case the forward path exists for.
+	var victim model.TransitionID
+	for _, id := range ids {
+		if s, ok := x.ShardOf(id); ok && s != x.HomeShard(id) {
+			victim = id
+			break
+		}
+	}
+	if victim == 0 {
+		t.Fatal("bulk load placed every transition on its home shard; test is vacuous")
+	}
+
+	e := New(x, Options{})
+	defer e.Close()
+	// Drive the HOME pipeline's commit directly (normal routing would
+	// consult the committed placement and go straight to the owning
+	// shard): the commit must discover the foreign placement and forward
+	// the op to the barrier, which answers it.
+	op := writeOp{kind: opRemoveTransition, id: victim, done: make(chan opResult, 1)}
+	e.pipes[e.idx.HomeShard(victim)].applyShard([]writeOp{op})
+	res := <-op.done
+	if res.err != nil || !res.existed {
+		t.Fatalf("forwarded removal: existed=%v err=%v, want existed=true", res.existed, res.err)
+	}
+	if e.Transition(victim) != nil {
+		t.Error("transition still indexed after forwarded removal")
+	}
+
+	// The rest remove through normal routing, which follows ShardOf.
+	rest := ids[:0]
+	for _, id := range ids {
+		if id != victim {
+			rest = append(rest, id)
+		}
+	}
+	existed, err := e.RemoveTransitions(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range existed {
+		if !ok {
+			t.Errorf("transition %d reported missing", rest[i])
+		}
+	}
+	if n := e.NumTransitions(); n != 0 {
+		t.Errorf("%d transitions left after removing all", n)
+	}
+}

@@ -22,21 +22,31 @@ import (
 	"repro/internal/model"
 )
 
-// SecEpoch is the section carrying the engine epoch at save time
-// (one u64).
+// SecEpoch is the legacy section carrying the scalar engine epoch at
+// save time (one u64). Snapshots written by this version store the sum
+// of the epoch vector here, so older readers keep working.
 const SecEpoch = "srvepoch"
 
-// WriteSnapshot serialises the engine's index, epoch and network as an
-// arena snapshot container. It runs under the read lock: concurrent
-// queries proceed, writes wait for the serialization to finish (the
-// arenas are dumped verbatim, so this is a memory copy, not a rebuild).
+// SecEpochVec is the section carrying the full epoch vector: the
+// structural counter (u64), the shard count (u32), then one u64 per
+// shard. Warm boots seed Options.InitialEpochs from it so cached
+// results and version vectors survive a restart exactly.
+const SecEpochVec = "srvepocv"
+
+// WriteSnapshot serialises the engine's index, epoch vector and network
+// as an arena snapshot container. It runs under the engine read locks:
+// concurrent queries proceed, commits wait for the serialization to
+// finish (the arenas are dumped verbatim, so this is a memory copy, not
+// a rebuild), and the stored vector is exact.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
 	start := time.Now()
 	defer func() { e.mx.snapshotSave.RecordDuration(time.Since(start)) }()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.rlockAll()
+	defer e.runlockAll()
+	vec := e.epochVecQuiescent()
 	sw := dataio.NewSectionWriter(w)
-	sw.Section(SecEpoch, binary.LittleEndian.AppendUint64(nil, e.epoch.Load()))
+	sw.Section(SecEpoch, binary.LittleEndian.AppendUint64(nil, vec.Sum()))
+	sw.Section(SecEpochVec, vec.appendBytes(nil))
 	if err := index.AppendSnapshotSections(sw, e.idx); err != nil {
 		return err
 	}
@@ -80,32 +90,41 @@ func (e *Engine) WriteSnapshotFile(path string) (int64, error) {
 
 // ReadSnapshot loads an engine snapshot (or any container with index
 // sections): the reassembled index, the network and stop-to-vertex table
-// (nil if none was stored), and the epoch to seed a new engine with
-// (zero if the snapshot carries no serving metadata). Pass the epoch as
-// Options.InitialEpoch so clients that cached results against the old
-// process observe a version no older than what they saw.
-func ReadSnapshot(r io.Reader) (*index.Index, *graph.Graph, map[model.StopID]graph.VertexID, uint64, error) {
+// (nil if none was stored), and the epoch vector to seed a new engine
+// with (zero if the snapshot carries no serving metadata). Pass the
+// vector as Options.InitialEpochs so clients that cached results
+// against the old process observe a version no older than what they
+// saw. Snapshots from before the vector epoch carry only the legacy
+// scalar section; it loads as a pure-structural vector, which preserves
+// the scalar sum (the only thing such snapshots ever promised).
+func ReadSnapshot(r io.Reader) (*index.Index, *graph.Graph, map[model.StopID]graph.VertexID, EpochVec, error) {
 	secs, err := dataio.ReadSections(r)
 	if err != nil {
-		return nil, nil, nil, 0, err
+		return nil, nil, nil, EpochVec{}, err
 	}
 	x, err := index.SnapshotFromSections(secs)
 	if err != nil {
-		return nil, nil, nil, 0, err
+		return nil, nil, nil, EpochVec{}, err
 	}
-	var epoch uint64
-	if eb, ok := secs.Lookup(SecEpoch); ok {
-		if len(eb) != 8 {
-			return nil, nil, nil, 0, fmt.Errorf("serve: %q section is %d bytes, want 8", SecEpoch, len(eb))
+	var vec EpochVec
+	if vb, ok := secs.Lookup(SecEpochVec); ok {
+		v, ok := epochVecFromBytes(vb)
+		if !ok {
+			return nil, nil, nil, EpochVec{}, fmt.Errorf("serve: malformed %q section (%d bytes)", SecEpochVec, len(vb))
 		}
-		epoch = binary.LittleEndian.Uint64(eb)
+		vec = v
+	} else if eb, ok := secs.Lookup(SecEpoch); ok {
+		if len(eb) != 8 {
+			return nil, nil, nil, EpochVec{}, fmt.Errorf("serve: %q section is %d bytes, want 8", SecEpoch, len(eb))
+		}
+		vec = EpochVec{Structural: binary.LittleEndian.Uint64(eb)}
 	}
 	var g *graph.Graph
 	var vertexOf map[model.StopID]graph.VertexID
 	if nb, ok := secs.Lookup(dataio.SecNetwork); ok {
 		if g, vertexOf, err = dataio.UnmarshalNetwork(nb); err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, EpochVec{}, err
 		}
 	}
-	return x, g, vertexOf, epoch, nil
+	return x, g, vertexOf, vec, nil
 }

@@ -28,6 +28,7 @@ func TestEngineSnapshotWarmStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	savedEpoch := cold.Epoch()
+	savedVec := cold.EpochVector()
 	if savedEpoch == 0 {
 		t.Fatal("expected a non-zero epoch after committed writes")
 	}
@@ -37,12 +38,15 @@ func TestEngineSnapshotWarmStart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	lx, g, lv, epoch, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	lx, g, lv, epochs, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if epoch != savedEpoch {
-		t.Fatalf("snapshot epoch %d, want %d", epoch, savedEpoch)
+	if !epochs.Equal(savedVec) {
+		t.Fatalf("snapshot epoch vector %+v, want %+v", epochs, savedVec)
+	}
+	if epochs.Sum() != savedEpoch {
+		t.Fatalf("snapshot epoch %d, want %d", epochs.Sum(), savedEpoch)
 	}
 	if g == nil || g.NumVertices() != city.Graph.NumVertices() {
 		t.Fatal("network did not survive the snapshot")
@@ -51,10 +55,13 @@ func TestEngineSnapshotWarmStart(t *testing.T) {
 		t.Fatalf("vertex table has %d entries, want %d", len(lv), len(vertexOf))
 	}
 
-	warm := New(lx, Options{Network: g, VertexOf: lv, InitialEpoch: epoch})
+	warm := New(lx, Options{Network: g, VertexOf: lv, InitialEpochs: epochs})
 	defer warm.Close()
 	if warm.Epoch() != savedEpoch {
 		t.Fatalf("warm engine epoch %d, want seeded %d", warm.Epoch(), savedEpoch)
+	}
+	if !warm.EpochVector().Equal(savedVec) {
+		t.Fatalf("warm engine vector %+v, want seeded %+v", warm.EpochVector(), savedVec)
 	}
 
 	// The warm engine serves identical query results.
@@ -106,15 +113,15 @@ func TestEngineSnapshotWithoutNetwork(t *testing.T) {
 	if err := e.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
-	lx, g, lv, epoch, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	lx, g, lv, epochs, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g != nil || lv != nil {
 		t.Fatal("network materialised out of nowhere")
 	}
-	if epoch != 0 {
-		t.Fatalf("epoch %d, want 0", epoch)
+	if epochs.Sum() != 0 {
+		t.Fatalf("epoch %d, want 0", epochs.Sum())
 	}
 	if lx.NumTransitions() != 1 {
 		t.Fatalf("loaded %d transitions, want 1", lx.NumTransitions())

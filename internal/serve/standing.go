@@ -32,15 +32,16 @@ type Standing struct {
 // must Close the returned Standing when done.
 func (e *Engine) RegisterStanding(query []geo.Point, k int, sem core.Semantics) (*Standing, error) {
 	// The subscriber is installed with its query ID bound while the
-	// read lock is still held: writers are blocked, so no batch
+	// engine read locks are still held: every pipeline's commit is
+	// blocked, so no batch
 	// containing this query's events can commit before the subscriber
 	// is in place (no missed deltas), and broadcasts still in flight
 	// from earlier batches predate the registration so the query-ID
 	// filter drops them (no foreign deltas).
-	e.mu.RLock()
+	e.rlockAll()
 	id, initial, err := e.mon.Register(query, k, sem)
 	if err != nil {
-		e.mu.RUnlock()
+		e.runlockAll()
 		return nil, err
 	}
 	sub := &subscriber{ch: make(chan monitor.Event, e.opts.EventBuffer), query: id}
@@ -49,7 +50,7 @@ func (e *Engine) RegisterStanding(query []geo.Point, k int, sem core.Semantics) 
 	subID := e.nextSub
 	e.subs[subID] = sub
 	e.subMu.Unlock()
-	e.mu.RUnlock()
+	e.runlockAll()
 
 	e.standing.Add(1)
 	return &Standing{ID: id, Initial: initial, Events: sub.ch, engine: e, subID: subID}, nil
@@ -58,9 +59,7 @@ func (e *Engine) RegisterStanding(query []geo.Point, k int, sem core.Semantics) 
 // Close unregisters the standing query and detaches its event channel.
 func (s *Standing) Close() {
 	e := s.engine
-	e.mu.RLock()
 	ok := e.mon.Unregister(s.ID)
-	e.mu.RUnlock()
 	if ok {
 		e.standing.Add(-1)
 	}
@@ -69,10 +68,7 @@ func (s *Standing) Close() {
 
 // Results returns the standing query's current result set.
 func (s *Standing) Results() ([]model.TransitionID, error) {
-	e := s.engine
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.mon.Results(s.ID)
+	return s.engine.mon.Results(s.ID)
 }
 
 // TakeDropped reports whether deltas were lost to buffer overflow

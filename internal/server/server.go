@@ -160,8 +160,10 @@ func (s *Server) handleRkNNT(w http.ResponseWriter, r *http.Request) {
 		Transitions: res.Transitions,
 		Count:       len(res.Transitions),
 		Cached:      res.Cached,
+		Repaired:    res.Repaired,
 		Shared:      res.Shared,
 		Epoch:       res.Epoch,
+		EpochVector: res.Epochs,
 		Stats: queryStatsDTO{
 			FilterMicros: res.Stats.Filter.Microseconds(),
 			VerifyMicros: res.Stats.Verify.Microseconds(),
@@ -433,9 +435,10 @@ func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"epoch":       s.engine.Epoch(),
-		"routes":      s.engine.NumRoutes(),
-		"transitions": s.engine.NumTransitions(),
+		"status":       "ok",
+		"epoch":        s.engine.Epoch(),
+		"epoch_vector": s.engine.EpochVector(),
+		"routes":       s.engine.NumRoutes(),
+		"transitions":  s.engine.NumTransitions(),
 	})
 }

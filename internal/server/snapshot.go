@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/serve"
 )
 
 type snapshotRequest struct {
@@ -18,10 +20,11 @@ type snapshotRequest struct {
 }
 
 type snapshotResponse struct {
-	Path    string  `json:"path"`
-	Bytes   int64   `json:"bytes"`
-	Seconds float64 `json:"seconds"`
-	Epoch   uint64  `json:"epoch"`
+	Path    string         `json:"path"`
+	Bytes   int64          `json:"bytes"`
+	Seconds float64        `json:"seconds"`
+	Epoch   uint64         `json:"epoch"`
+	Epochs  serve.EpochVec `json:"epoch_vector"`
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -45,5 +48,6 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		Bytes:   size,
 		Seconds: time.Since(start).Seconds(),
 		Epoch:   s.engine.Epoch(),
+		Epochs:  s.engine.EpochVector(),
 	})
 }

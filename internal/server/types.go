@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/planner"
+	"repro/internal/serve"
 )
 
 // PointDTO is a planar location on the wire.
@@ -62,10 +63,15 @@ type rknntResponse struct {
 	Transitions []model.TransitionID `json:"transitions"`
 	Count       int                  `json:"count"`
 	Cached      bool                 `json:"cached"`
+	Repaired    bool                 `json:"repaired,omitempty"` // cache hit brought forward by journal replay
 	Shared      bool                 `json:"shared,omitempty"`
-	Epoch       uint64               `json:"epoch"`
-	Stats       queryStatsDTO        `json:"stats"`
-	Trace       *obs.TraceData       `json:"trace,omitempty"` // present with ?trace=1
+	// Epoch is the scalar sum of the epoch vector (monotonic, wire-
+	// compatible); EpochVector is the exact per-shard version the
+	// result is valid at.
+	Epoch       uint64         `json:"epoch"`
+	EpochVector serve.EpochVec `json:"epoch_vector"`
+	Stats       queryStatsDTO  `json:"stats"`
+	Trace       *obs.TraceData `json:"trace,omitempty"` // present with ?trace=1
 }
 
 func parseMethod(s string) (core.Method, error) {
