@@ -109,6 +109,33 @@ func BenchmarkRkNNTVoronoi(b *testing.B)       { benchRkNNT(b, Voronoi) }
 func BenchmarkRkNNTDivideConquer(b *testing.B) { benchRkNNT(b, DivideConquer) }
 func BenchmarkRkNNTBruteForce(b *testing.B)    { benchRkNNT(b, BruteForce) }
 
+// BenchmarkRkNNTKernel / BenchmarkRkNNTScalar pit the blocked planar
+// distance kernels against the pre-kernel per-rectangle traversal (the
+// NoKernel ablation) on the same query stream. Results are bit-identical
+// by construction; only time and allocations may differ.
+
+func benchRkNNTKernel(b *testing.B, m Method, noKernel bool) {
+	db, city := benchDB(b)
+	rng := rand.New(rand.NewSource(77))
+	queries := make([][]Point, 16)
+	for i := range queries {
+		queries[i] = GenerateQuery(city, rng, 5, 3)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := QueryOptions{K: 10, Method: m, NoKernel: noKernel}
+		if _, err := db.RkNNT(queries[i%len(queries)], opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRkNNTKernel(b *testing.B)       { benchRkNNTKernel(b, DivideConquer, false) }
+func BenchmarkRkNNTScalar(b *testing.B)       { benchRkNNTKernel(b, DivideConquer, true) }
+func BenchmarkRkNNTKernelFilter(b *testing.B) { benchRkNNTKernel(b, FilterRefine, false) }
+func BenchmarkRkNNTScalarFilter(b *testing.B) { benchRkNNTKernel(b, FilterRefine, true) }
+
 // Ablations: each disables one design choice from Sections 4-5 and should
 // be slower than the corresponding full configuration above.
 

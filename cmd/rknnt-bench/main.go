@@ -34,6 +34,8 @@ type jsonReport struct {
 	Seed           int64        `json:"seed"`
 	ShardSweep     []int        `json:"shard_sweep,omitempty"`
 	GoMaxProcs     int          `json:"gomaxprocs"`
+	NumCPU         int          `json:"num_cpu"`
+	GoVersion      string       `json:"go_version"`
 	Experiments    []jsonResult `json:"experiments"`
 }
 
@@ -82,6 +84,8 @@ func main() {
 		Seed:           cfg.Seed,
 		ShardSweep:     cfg.ShardSweep,
 		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		GoVersion:      runtime.Version(),
 	}
 	for _, id := range ids {
 		start := time.Now()

@@ -93,6 +93,13 @@ type Options struct {
 	// serving layer's cache keys.
 	Trace *obs.Trace
 
+	// Tuner, when non-nil, replaces the fixed parallel-refine threshold
+	// with an adaptive one and receives cost observations from every
+	// refine pass. Share one tuner across queries (the serving engine
+	// owns one per process); results are unaffected, only the
+	// sequential/parallel cut-over moves. Excluded from cache keys.
+	Tuner *AdaptiveTuner
+
 	// Ablation switches. Results are unaffected (the framework stays
 	// exact); only pruning power changes. They exist so the benchmark
 	// suite can quantify each design choice of Sections 4-5.
@@ -104,6 +111,12 @@ type Options struct {
 	// NoNList disables wholesale route counting through the NList during
 	// verification; every closer route is then discovered point by point.
 	NoNList bool
+	// NoKernel scores R-tree children one rectangle at a time through
+	// the scalar geo.Rect.MinDist2 path instead of the blocked planar
+	// kernels. The kernels are bit-identical to the scalar oracle, so
+	// results never change; the flag exists to measure the kernel win
+	// and to differentially test the blocked traversals.
+	NoKernel bool
 }
 
 func (o Options) validate(query []geo.Point) error {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"runtime"
 	"sort"
 	"strconv"
@@ -209,16 +208,57 @@ type heapItem struct {
 
 type minHeap []heapItem
 
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h minHeap) Len() int { return len(h) }
+
+// push and popItem mirror container/heap's up/down sift loops with
+// concrete types (no interface{} boxing, so no allocation per push).
+// The comparison sequence is identical to the stdlib's, so the pop
+// order — equal-dist ties included — matches the old heap.Push/heap.Pop
+// traversal exactly.
+func (h *minHeap) push(it heapItem) {
+	*h = append(*h, it)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *minHeap) popItem() heapItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].dist < s[j1].dist {
+			j = j2
+		}
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
+}
+
+// gatherBlock is the stack-resident scratch for one kernel-scored node
+// expansion: four planar coordinate planes plus the distance out-slice,
+// sized to the arena's node stride.
+type gatherBlock struct {
+	xlo, ylo, xhi, yhi, dist [rtree.BlockSlots]float64
 }
 
 func queryMinDist2(query []geo.Point, r geo.Rect) float64 {
@@ -244,10 +284,10 @@ func filterRoute(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts
 	tree := x.RouteTree()
 	root := tree.Root()
 
+	var gb gatherBlock
 	h := &minHeap{{node: root, dist: queryMinDist2(query, tree.Rect(root))}}
-	heap.Init(h)
 	for h.Len() > 0 {
-		it := heap.Pop(h).(heapItem)
+		it := h.popItem()
 		if it.node != rtree.NilNode {
 			n := it.node
 			if fs.isFiltered(query, tree.Rect(n), k, useVoronoi, true, &fs.sc) {
@@ -256,11 +296,22 @@ func filterRoute(x *index.Index, query []geo.Point, k int, useVoronoi bool, opts
 			}
 			if tree.IsLeaf(n) {
 				for _, e := range tree.Entries(n) {
-					heap.Push(h, heapItem{node: rtree.NilNode, entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
+					h.push(heapItem{node: rtree.NilNode, entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
+				}
+			} else if opts.NoKernel {
+				for _, c := range tree.Children(n) {
+					h.push(heapItem{node: c, dist: queryMinDist2(query, tree.Rect(c))})
 				}
 			} else {
-				for _, c := range tree.Children(n) {
-					heap.Push(h, heapItem{node: c, dist: queryMinDist2(query, tree.Rect(c))})
+				// Score the whole child block with one route-MINDIST kernel
+				// call over the gathered planar coordinates. The kernel is
+				// bit-identical to queryMinDist2 per child, so the heap
+				// order (and the accreting filter set) is unchanged.
+				cnt := tree.GatherChildRects(n, gb.xlo[:], gb.ylo[:], gb.xhi[:], gb.yhi[:])
+				geo.MinDist2RouteBlock(gb.xlo[:], gb.ylo[:], gb.xhi[:], gb.yhi[:], query, gb.dist[:cnt])
+				kids := tree.Children(n)
+				for i := 0; i < cnt; i++ {
+					h.push(heapItem{node: kids[i], dist: gb.dist[i]})
 				}
 			}
 			continue

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/index"
@@ -20,13 +21,20 @@ import (
 func refineCandidates(x *index.Index, query []geo.Point, cands []rtree.Entry, k int, opts Options) map[model.TransitionID]endpointMask {
 	masks := make(map[model.TransitionID]endpointMask)
 	tree := x.RouteTree()
-	// parallelRefineThreshold: below this many candidates the goroutine
-	// and merge overhead exceeds the win.
-	const parallelRefineThreshold = 32
-	if parallelEnabled(opts) && len(cands) >= parallelRefineThreshold {
+	// Below the parallel threshold the goroutine and merge overhead
+	// exceeds the win. The default is the historical fixed constant; with
+	// an AdaptiveTuner attached the cut-over tracks the measured
+	// per-candidate verify cost against the measured goroutine handoff
+	// cost (see tuner.go).
+	threshold := defaultRefineParallelThreshold
+	if opts.Tuner != nil {
+		threshold = opts.Tuner.Threshold()
+	}
+	if parallelEnabled(opts) && len(cands) >= threshold {
 		workers := maxWorkers(len(cands))
 		chunk := (len(cands) + workers - 1) / workers
 		parts := make([]map[model.TransitionID]endpointMask, workers)
+		start := time.Now()
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
@@ -42,7 +50,7 @@ func refineCandidates(x *index.Index, query []geo.Point, cands []rtree.Entry, k 
 				defer wg.Done()
 				part := make(map[model.TransitionID]endpointMask)
 				for _, cand := range cands[lo:hi] {
-					if endpointIsResult(x, tree, query, cand.Pt, k, !opts.NoNList) {
+					if endpointIsResult(x, tree, query, cand.Pt, k, !opts.NoNList, opts.NoKernel) {
 						part[cand.ID] |= 1 << uint(cand.Aux)
 					}
 				}
@@ -50,6 +58,9 @@ func refineCandidates(x *index.Index, query []geo.Point, cands []rtree.Entry, k 
 			}(w, lo, hi)
 		}
 		wg.Wait()
+		if opts.Tuner != nil {
+			opts.Tuner.Observe(len(cands), time.Since(start), workers)
+		}
 		for _, part := range parts {
 			for id, m := range part {
 				masks[id] |= m
@@ -57,10 +68,14 @@ func refineCandidates(x *index.Index, query []geo.Point, cands []rtree.Entry, k 
 		}
 		return masks
 	}
+	start := time.Now()
 	for _, cand := range cands {
-		if endpointIsResult(x, tree, query, cand.Pt, k, !opts.NoNList) {
+		if endpointIsResult(x, tree, query, cand.Pt, k, !opts.NoNList, opts.NoKernel) {
 			masks[cand.ID] |= 1 << uint(cand.Aux)
 		}
+	}
+	if opts.Tuner != nil && len(cands) > 0 {
+		opts.Tuner.Observe(len(cands), time.Since(start), 1)
 	}
 	return masks
 }
@@ -79,7 +94,78 @@ func maxWorkers(items int) int {
 // endpointIsResult reports whether fewer than k distinct routes are
 // strictly closer to t than the query route. It only reads the index
 // (the incremental NList takes no lock), so concurrent calls are safe.
-func endpointIsResult(x *index.Index, tree *rtree.Tree, query []geo.Point, t geo.Point, k int, useNList bool) bool {
+//
+// The default path scores each internal node's child block with one
+// geo.MinDist2Block call and pushes only children whose lower bound
+// beats dq2; because dq2 is fixed for the whole call, push-time pruning
+// visits exactly the nodes the pop-time check used to keep, in the same
+// order. NList wholesale credits are then applied over that pre-pruned
+// frontier in traversal order. scalar selects the pre-kernel per-child
+// path (the NoKernel ablation); both decide identically.
+func endpointIsResult(x *index.Index, tree *rtree.Tree, query []geo.Point, t geo.Point, k int, useNList, scalar bool) bool {
+	if scalar {
+		return endpointIsResultScalar(x, tree, query, t, k, useNList)
+	}
+	if tree.Len() == 0 {
+		return true
+	}
+	dq2 := geo.PointRouteDist2(t, query)
+	closer := make(map[model.RouteID]struct{}, k)
+	var gb gatherBlock
+	var stackArr [128]rtree.NodeID
+	stack := stackArr[:0]
+	root := tree.Root()
+	if tree.Rect(root).MinDist2(t) < dq2 {
+		stack = append(stack, root)
+	}
+	for len(stack) > 0 && len(closer) < k {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if useNList {
+			if md := tree.Rect(n).MaxDist(t); md*md < dq2 {
+				// Every point under n is strictly closer than the query:
+				// credit all routes below without descending.
+				done := false
+				x.NListEach(n, func(id model.RouteID) bool {
+					closer[id] = struct{}{}
+					if len(closer) >= k {
+						done = true
+						return false
+					}
+					return true
+				})
+				if done {
+					return false
+				}
+				continue
+			}
+		}
+		if tree.IsLeaf(n) {
+			for _, e := range tree.Entries(n) {
+				if e.Pt.Dist2(t) < dq2 {
+					closer[e.ID] = struct{}{}
+					if len(closer) >= k {
+						return false
+					}
+				}
+			}
+		} else {
+			cnt := tree.GatherChildRects(n, gb.xlo[:], gb.ylo[:], gb.xhi[:], gb.yhi[:])
+			geo.MinDist2Block(gb.xlo[:], gb.ylo[:], gb.xhi[:], gb.yhi[:], t, gb.dist[:cnt])
+			kids := tree.Children(n)
+			for i := 0; i < cnt; i++ {
+				if gb.dist[i] < dq2 {
+					stack = append(stack, kids[i])
+				}
+			}
+		}
+	}
+	return len(closer) < k
+}
+
+// endpointIsResultScalar is the pre-kernel verification traversal, kept
+// verbatim as the NoKernel ablation and differential oracle.
+func endpointIsResultScalar(x *index.Index, tree *rtree.Tree, query []geo.Point, t geo.Point, k int, useNList bool) bool {
 	if tree.Len() == 0 {
 		return true
 	}
@@ -94,8 +180,6 @@ func endpointIsResult(x *index.Index, tree *rtree.Tree, query []geo.Point, t geo
 			continue
 		}
 		if md := rect.MaxDist(t); useNList && md*md < dq2 {
-			// Every point under n is strictly closer than the query:
-			// credit all routes below without descending.
 			done := false
 			x.NListEach(n, func(id model.RouteID) bool {
 				closer[id] = struct{}{}
@@ -133,5 +217,5 @@ func endpointIsResult(x *index.Index, tree *rtree.Tree, query []geo.Point, t geo
 // checking one arriving transition costs two such calls, independent of
 // the transition set size.
 func TakesQueryAsKNN(x *index.Index, query []geo.Point, t geo.Point, k int) bool {
-	return endpointIsResult(x, x.RouteTree(), query, t, k, true)
+	return endpointIsResult(x, x.RouteTree(), query, t, k, true, false)
 }

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Refine parallelism cut-over. Parallel verification pays off once the
+// work per candidate dwarfs the cost of standing up and joining the
+// worker pool; both sides vary wildly across hosts and datasets, so a
+// fixed constant is wrong almost everywhere. defaultRefineParallelThreshold
+// is the historical fixed value, still used when no tuner is attached.
+const (
+	defaultRefineParallelThreshold = 32
+	refineThresholdMin             = 8
+	refineThresholdMax             = 4096
+	// tunerAlpha is the EWMA smoothing factor for the per-candidate
+	// verify cost: heavy enough to follow workload shifts within tens of
+	// queries, light enough to ride out individual outliers.
+	tunerAlpha = 0.2
+)
+
+// AdaptiveTuner tracks the measured per-candidate verification cost and
+// compares it against the measured goroutine handoff cost to place the
+// sequential/parallel cut-over for refineCandidates. One tuner is meant
+// to be shared process-wide (the serving engine owns one); all methods
+// are safe for concurrent use and the hot read (Threshold) is a single
+// atomic load.
+type AdaptiveTuner struct {
+	handoffNanos float64       // per-goroutine spawn+join cost, measured once
+	perCand      atomic.Uint64 // float64 bits of the per-candidate nanos EWMA
+	threshold    atomic.Int64
+}
+
+// NewAdaptiveTuner measures the goroutine handoff cost on this host and
+// returns a tuner primed with the historical default threshold; the
+// threshold starts moving once refine passes report observations.
+func NewAdaptiveTuner() *AdaptiveTuner {
+	t := &AdaptiveTuner{handoffNanos: measureHandoff()}
+	t.threshold.Store(defaultRefineParallelThreshold)
+	return t
+}
+
+// measureHandoff times spawning and joining a batch of empty goroutines:
+// the fixed overhead a parallel refine pass pays per worker before any
+// candidate is verified.
+func measureHandoff() float64 {
+	const rounds = 3
+	const batch = 64
+	best := math.Inf(1)
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			wg.Add(1)
+			go func() { wg.Done() }()
+		}
+		wg.Wait()
+		if d := float64(time.Since(start).Nanoseconds()) / batch; d < best {
+			best = d
+		}
+	}
+	// Clamp away scheduler noise: sub-100ns handoffs are not real, and a
+	// paused VM can report wild numbers.
+	if best < 100 {
+		best = 100
+	}
+	if best > 1e6 {
+		best = 1e6
+	}
+	return best
+}
+
+// Threshold returns the current candidate count at which refine switches
+// from sequential to parallel verification.
+func (t *AdaptiveTuner) Threshold() int { return int(t.threshold.Load()) }
+
+// PerCandidateNanos returns the current per-candidate verify cost
+// estimate (0 until the first observation).
+func (t *AdaptiveTuner) PerCandidateNanos() float64 {
+	return math.Float64frombits(t.perCand.Load())
+}
+
+// HandoffNanos returns the measured per-goroutine handoff cost.
+func (t *AdaptiveTuner) HandoffNanos() float64 { return t.handoffNanos }
+
+// Observe folds one refine pass into the cost model: candidates were
+// verified in elapsed wall-clock time across workers goroutines. Wall
+// clock is converted to aggregate CPU cost (elapsed × workers) so
+// parallel and sequential passes feed the same per-candidate estimate.
+func (t *AdaptiveTuner) Observe(candidates int, elapsed time.Duration, workers int) {
+	if candidates <= 0 || elapsed <= 0 {
+		return
+	}
+	per := float64(elapsed.Nanoseconds()) / float64(candidates)
+	if workers > 1 {
+		per *= float64(workers)
+	}
+	for {
+		old := t.perCand.Load()
+		next := per
+		if old != 0 {
+			next = (1-tunerAlpha)*math.Float64frombits(old) + tunerAlpha*per
+		}
+		if t.perCand.CompareAndSwap(old, math.Float64bits(next)) {
+			t.threshold.Store(int64(thresholdFor(t.handoffNanos, next)))
+			return
+		}
+	}
+}
+
+// thresholdFor places the cut-over where the parallel win first covers
+// the pool cost. A parallel pass spends roughly minWorkers×handoff on
+// coordination and saves (1-1/minWorkers)×n×perCand of wall clock, so
+// break-even sits near n = minWorkers²/(minWorkers-1) × handoff/perCand
+// ≈ 4×handoff/perCand at the two-worker floor.
+func thresholdFor(handoff, perCand float64) int {
+	if perCand <= 0 {
+		return defaultRefineParallelThreshold
+	}
+	n := 4 * handoff / perCand
+	switch {
+	case n < refineThresholdMin:
+		return refineThresholdMin
+	case n > refineThresholdMax:
+		return refineThresholdMax
+	default:
+		return int(n)
+	}
+}

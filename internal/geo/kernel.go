@@ -1,0 +1,93 @@
+package geo
+
+// Batched distance kernels over planar (struct-of-arrays) rectangle
+// coordinates. The R-tree arena stores its node rectangles as four
+// contiguous float64 planes (xlo/ylo/xhi/yhi); traversals gather one
+// node's child block into contiguous slices and score the whole block
+// with a single kernel call instead of calling Rect.MinDist2 once per
+// child through a heap.
+//
+// The loops keep everything in registers: per rectangle, each axis is
+// one two-way clamp over values streamed from four contiguous planes,
+// with no heap traffic, no Rect materialisation and one bounds check
+// per plane for the whole block. Results are bit-identical to the
+// scalar Rect.MinDist2 oracle for every input, including NaN
+// coordinates and degenerate (Min > Max) rectangles — the differential
+// fuzz tests in kernel_test.go enforce exactly that, so traversals may
+// switch freely between the blocked and scalar paths.
+
+// MinDist2Block writes MinDist2 of the point q to each rectangle
+// (xlo[i], ylo[i], xhi[i], yhi[i]) into out[i]. All five slices must
+// have at least len(out) elements; len(out) rectangles are scored.
+func MinDist2Block(xlo, ylo, xhi, yhi []float64, q Point, out []float64) {
+	n := len(out)
+	// One bounds check per slice; the loop bodies below are then
+	// check-free.
+	xlo, ylo, xhi, yhi = xlo[:n], ylo[:n], xhi[:n], yhi[:n]
+	for i := 0; i < n; i++ {
+		// Per-axis clamp distance outside [lo, hi], replicating
+		// Rect.MinDist2's exact branch structure: the low test wins on
+		// inverted (Min > Max) rects and NaN coordinates fail both
+		// comparisons and contribute 0, as in the scalar oracle.
+		dx := 0.0
+		if q.X < xlo[i] {
+			dx = xlo[i] - q.X
+		} else if q.X > xhi[i] {
+			dx = q.X - xhi[i]
+		}
+		dy := 0.0
+		if q.Y < ylo[i] {
+			dy = ylo[i] - q.Y
+		} else if q.Y > yhi[i] {
+			dy = q.Y - yhi[i]
+		}
+		out[i] = dx*dx + dy*dy
+	}
+}
+
+// MinDist2RouteBlock writes, for each rectangle i, the minimum over all
+// route points of MinDist2(route[j], rect i) into out[i] — the blocked
+// form of the route-MINDIST bound (Equation 3) used when the query is a
+// multi-point route. The reduction order matches the scalar loop in
+// queryMinDist2 (first point initialises, later points lower), so the
+// float results are bit-identical to the per-child scalar path.
+func MinDist2RouteBlock(xlo, ylo, xhi, yhi []float64, route []Point, out []float64) {
+	if len(route) == 0 {
+		return
+	}
+	MinDist2Block(xlo, ylo, xhi, yhi, route[0], out)
+	n := len(out)
+	xlo, ylo, xhi, yhi = xlo[:n], ylo[:n], xhi[:n], yhi[:n]
+	for _, q := range route[1:] {
+		for i := 0; i < n; i++ {
+			dx := 0.0
+			if q.X < xlo[i] {
+				dx = xlo[i] - q.X
+			} else if q.X > xhi[i] {
+				dx = q.X - xhi[i]
+			}
+			dy := 0.0
+			if q.Y < ylo[i] {
+				dy = ylo[i] - q.Y
+			} else if q.Y > yhi[i] {
+				dy = q.Y - yhi[i]
+			}
+			if d := dx*dx + dy*dy; d < out[i] {
+				out[i] = d
+			}
+		}
+	}
+}
+
+// Dist2Block writes the squared point distance from q to each point
+// (xs[i], ys[i]) into out[i] — the leaf-level companion of
+// MinDist2Block for planar point blocks.
+func Dist2Block(xs, ys []float64, q Point, out []float64) {
+	n := len(out)
+	xs, ys = xs[:n], ys[:n]
+	for i := 0; i < n; i++ {
+		dx := xs[i] - q.X
+		dy := ys[i] - q.Y
+		out[i] = dx*dx + dy*dy
+	}
+}

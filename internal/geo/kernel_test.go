@@ -1,0 +1,143 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// specials are the awkward float values mixed into every differential
+// test: NaN, infinities, signed zeros and denormals all flow through
+// the kernels.
+var specials = []float64{
+	math.NaN(), math.Inf(1), math.Inf(-1),
+	0, math.Copysign(0, -1), 1e-308, -1e-308, 1e308, -1e308, 3.5, -2.25,
+}
+
+func randSpecial(rng *rand.Rand) float64 {
+	if rng.Intn(4) == 0 {
+		return specials[rng.Intn(len(specials))]
+	}
+	return (rng.Float64() - 0.5) * 200
+}
+
+// identical reports bit-identity (so NaN == NaN and +0 != -0).
+func identical(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestMinDist2BlockDifferential checks the blocked kernel against the
+// scalar Rect.MinDist2 oracle over random blocks salted with special
+// values, requiring bit-identical outputs.
+func TestMinDist2BlockDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(40)
+		xlo, ylo := make([]float64, n), make([]float64, n)
+		xhi, yhi := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			xlo[i], ylo[i] = randSpecial(rng), randSpecial(rng)
+			xhi[i], yhi[i] = randSpecial(rng), randSpecial(rng)
+		}
+		q := Point{X: randSpecial(rng), Y: randSpecial(rng)}
+		out := make([]float64, n)
+		MinDist2Block(xlo, ylo, xhi, yhi, q, out)
+		for i := 0; i < n; i++ {
+			r := Rect{Min: Point{xlo[i], ylo[i]}, Max: Point{xhi[i], yhi[i]}}
+			want := r.MinDist2(q)
+			if !identical(out[i], want) {
+				t.Fatalf("iter %d rect %d %v q=%v: kernel %v (%x), oracle %v (%x)",
+					iter, i, r, q, out[i], math.Float64bits(out[i]), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestMinDist2RouteBlockDifferential checks the route kernel against
+// the scalar first-initialises-then-lowers reduction over MinDist2.
+func TestMinDist2RouteBlockDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 1000; iter++ {
+		n := rng.Intn(36)
+		m := 1 + rng.Intn(8)
+		xlo, ylo := make([]float64, n), make([]float64, n)
+		xhi, yhi := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			xlo[i], ylo[i] = randSpecial(rng), randSpecial(rng)
+			xhi[i], yhi[i] = randSpecial(rng), randSpecial(rng)
+		}
+		route := make([]Point, m)
+		for j := range route {
+			route[j] = Point{X: randSpecial(rng), Y: randSpecial(rng)}
+		}
+		out := make([]float64, n)
+		MinDist2RouteBlock(xlo, ylo, xhi, yhi, route, out)
+		for i := 0; i < n; i++ {
+			r := Rect{Min: Point{xlo[i], ylo[i]}, Max: Point{xhi[i], yhi[i]}}
+			want := r.MinDist2(route[0])
+			for _, q := range route[1:] {
+				if d := r.MinDist2(q); d < want {
+					want = d
+				}
+			}
+			if !identical(out[i], want) {
+				t.Fatalf("iter %d rect %d: kernel %v, oracle %v", iter, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestDist2BlockDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(40)
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i], ys[i] = randSpecial(rng), randSpecial(rng)
+		}
+		q := Point{X: randSpecial(rng), Y: randSpecial(rng)}
+		out := make([]float64, n)
+		Dist2Block(xs, ys, q, out)
+		for i := 0; i < n; i++ {
+			want := (Point{xs[i], ys[i]}).Dist2(q)
+			if !identical(out[i], want) {
+				t.Fatalf("iter %d pt %d: kernel %v, oracle %v", iter, i, out[i], want)
+			}
+		}
+	}
+}
+
+// FuzzMinDist2Block drives a one-rect block against the scalar oracle
+// with arbitrary float bit patterns, NaN and degenerate rects included.
+func FuzzMinDist2Block(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.5, 2.5)
+	f.Add(5.0, 5.0, 3.0, 3.0, 4.0, 4.0) // degenerate: Min > Max
+	f.Add(math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1), 1.0, 1.0)
+	f.Add(math.NaN(), 0.0, 1.0, math.NaN(), math.NaN(), 0.0)
+	f.Fuzz(func(t *testing.T, xlo, ylo, xhi, yhi, qx, qy float64) {
+		q := Point{X: qx, Y: qy}
+		var out [3]float64
+		// Score the same rect at every position of a short block to
+		// catch any index-dependent bug.
+		MinDist2Block([]float64{xlo, xlo, xlo}, []float64{ylo, ylo, ylo},
+			[]float64{xhi, xhi, xhi}, []float64{yhi, yhi, yhi}, q, out[:])
+		want := Rect{Min: Point{xlo, ylo}, Max: Point{xhi, yhi}}.MinDist2(q)
+		for i, got := range out {
+			if !identical(got, want) {
+				t.Fatalf("slot %d: kernel %v (%x), oracle %v (%x)",
+					i, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+		var rout [1]float64
+		MinDist2RouteBlock([]float64{xlo}, []float64{ylo}, []float64{xhi}, []float64{yhi},
+			[]Point{q, {X: qy, Y: qx}}, rout[:])
+		r := Rect{Min: Point{xlo, ylo}, Max: Point{xhi, yhi}}
+		rwant := r.MinDist2(q)
+		if d := r.MinDist2(Point{X: qy, Y: qx}); d < rwant {
+			rwant = d
+		}
+		if !identical(rout[0], rwant) {
+			t.Fatalf("route kernel %v, oracle %v", rout[0], rwant)
+		}
+	})
+}

@@ -1,22 +1,26 @@
 package rtree
 
 // Arena serialization. The flat SoA layout makes persistence a verbatim
-// dump: every backing slice — rects, leaf flags, counts, parent links,
-// the fixed-stride child and entry blocks, the free list and the
-// optional distinct-ID aggregate — is written out unchanged, including
-// the dead slots beyond each node's count and the slots of freed nodes.
-// Loading therefore reconstructs the exact arena (same NodeIDs, same
-// generation, same free list), and save→load→save is byte-identical.
+// dump: every backing slice — rect coordinate planes, leaf flags, counts,
+// parent links, the fixed-stride child and entry blocks, the free list
+// and the optional distinct-ID aggregate — is written out unchanged,
+// including the dead slots beyond each node's count and the slots of
+// freed nodes. Loading therefore reconstructs the exact arena (same
+// NodeIDs, same generation, same free list), and save→load→save is
+// byte-identical.
 //
 // Layout (all integers little-endian, floats IEEE-754 bits; every array
 // zero-padded to an 8-byte boundary so an mmap view has aligned rows):
 //
-//	u32 version (1)   u32 flags (bit 0: ID aggregate)
+//	u32 version (2)   u32 flags (bit 0: ID aggregate)
 //	u32 maxEntries    u32 slotsPerNode      (layout constants, validated)
 //	i64 size          u64 generation
 //	i32 root          u32 zero padding
 //	u64 nodeCount     u64 freeCount         u64 aggTotal
-//	rects   nodeCount × {minx,miny,maxx,maxy f64}
+//	xlo     nodeCount × f64   \
+//	ylo     nodeCount × f64    | rect coordinate planes, stored planar
+//	xhi     nodeCount × f64    | to mirror the in-memory arena
+//	yhi     nodeCount × f64   /
 //	leaf    nodeCount × u8 (0/1)                       [padded]
 //	counts  nodeCount × i32                            [padded]
 //	parent  nodeCount × i32                            [padded]
@@ -28,6 +32,12 @@ package rtree
 //	aggIDs  aggTotal  × i32                            [padded]
 //	aggCnt  aggTotal  × i32                            [padded]
 //
+// Version 1 payloads — written before the planar-rect migration — are
+// identical except the four planes were one interleaved array of
+// nodeCount × {minx,miny,maxx,maxy f64} rows. The decoder accepts both;
+// the writer always emits version 2. Total bytes are the same, so v1
+// containers embedding arenas by length still parse.
+//
 // The layout constants are part of the on-disk contract: a build with a
 // different fanout refuses to load the arena rather than misread it.
 
@@ -36,21 +46,20 @@ import (
 	"fmt"
 	"io"
 	"math"
-
-	"repro/internal/geo"
 )
 
 const (
-	arenaVersion      = 1
-	arenaFlagIDAgg    = 1 << 0
-	arenaFixedHeader  = 4*4 + 8 + 8 + 4 + 4 + 8 + 8 + 8
-	arenaBytesPerNode = 32 + 1 + 4 + 4 + 4*slotsPerNode + 24*slotsPerNode
+	arenaVersion       = 2
+	arenaVersionLegacy = 1 // interleaved rect rows instead of planes
+	arenaFlagIDAgg     = 1 << 0
+	arenaFixedHeader   = 4*4 + 8 + 8 + 4 + 4 + 8 + 8 + 8
+	arenaBytesPerNode  = 32 + 1 + 4 + 4 + 4*slotsPerNode + 24*slotsPerNode
 )
 
 // AppendArena appends the tree's serialised arena to buf and returns the
 // extended slice.
 func (t *Tree) AppendArena(buf []byte) []byte {
-	n := len(t.rects)
+	n := len(t.xlo)
 	aggTotal := 0
 	if t.trackIDs {
 		for _, ids := range t.aggIDs {
@@ -80,11 +89,10 @@ func (t *Tree) AppendArena(buf []byte) []byte {
 	buf = le.AppendUint64(buf, uint64(len(t.free)))
 	buf = le.AppendUint64(buf, uint64(aggTotal))
 
-	for _, r := range t.rects {
-		buf = le.AppendUint64(buf, math.Float64bits(r.Min.X))
-		buf = le.AppendUint64(buf, math.Float64bits(r.Min.Y))
-		buf = le.AppendUint64(buf, math.Float64bits(r.Max.X))
-		buf = le.AppendUint64(buf, math.Float64bits(r.Max.Y))
+	for _, plane := range [4][]float64{t.xlo, t.ylo, t.xhi, t.yhi} {
+		for _, v := range plane {
+			buf = le.AppendUint64(buf, math.Float64bits(v))
+		}
 	}
 	for _, l := range t.leaf {
 		if l {
@@ -168,8 +176,9 @@ func TreeFromArena(data []byte) (*Tree, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	if version != arenaVersion {
-		return nil, fmt.Errorf("rtree: arena version %d, want %d", version, arenaVersion)
+	if version != arenaVersion && version != arenaVersionLegacy {
+		return nil, fmt.Errorf("rtree: arena version %d, want %d or %d",
+			version, arenaVersionLegacy, arenaVersion)
 	}
 	if gotMax != maxEntries || gotSlots != slotsPerNode {
 		return nil, fmt.Errorf("rtree: arena fanout %d/%d, this build uses %d/%d",
@@ -189,7 +198,10 @@ func TreeFromArena(data []byte) (*Tree, error) {
 		size:       int(size),
 		generation: generation,
 		trackIDs:   flags&arenaFlagIDAgg != 0,
-		rects:      make([]geo.Rect, n),
+		xlo:        make([]float64, n),
+		ylo:        make([]float64, n),
+		xhi:        make([]float64, n),
+		yhi:        make([]float64, n),
 		leaf:       make([]bool, n),
 		counts:     make([]int32, n),
 		parent:     make([]NodeID, n),
@@ -201,13 +213,25 @@ func TreeFromArena(data []byte) (*Tree, error) {
 	// decoded with a fixed-stride loop: the load is memory-bandwidth
 	// bound, not call-overhead bound.
 	le := binary.LittleEndian
-	if b := d.take(32 * n); b != nil {
-		for i := range t.rects {
-			row := b[32*i:]
-			t.rects[i].Min.X = math.Float64frombits(le.Uint64(row))
-			t.rects[i].Min.Y = math.Float64frombits(le.Uint64(row[8:]))
-			t.rects[i].Max.X = math.Float64frombits(le.Uint64(row[16:]))
-			t.rects[i].Max.Y = math.Float64frombits(le.Uint64(row[24:]))
+	if version == arenaVersionLegacy {
+		// v1 stored rects as interleaved {minx,miny,maxx,maxy} rows;
+		// de-interleave into the planar arrays on load.
+		if b := d.take(32 * n); b != nil {
+			for i := 0; i < n; i++ {
+				row := b[32*i:]
+				t.xlo[i] = math.Float64frombits(le.Uint64(row))
+				t.ylo[i] = math.Float64frombits(le.Uint64(row[8:]))
+				t.xhi[i] = math.Float64frombits(le.Uint64(row[16:]))
+				t.yhi[i] = math.Float64frombits(le.Uint64(row[24:]))
+			}
+		}
+	} else {
+		for _, plane := range [4][]float64{t.xlo, t.ylo, t.xhi, t.yhi} {
+			if b := d.take(8 * n); b != nil {
+				for i := range plane {
+					plane[i] = math.Float64frombits(le.Uint64(b[8*i:]))
+				}
+			}
 		}
 	}
 	if b := d.take(n); b != nil {
@@ -306,7 +330,7 @@ func ReadArena(r io.Reader) (*Tree, error) {
 // corrupted (but checksum-passing) payload cannot cause out-of-range
 // panics later. It is O(arena), much cheaper than a full invariant walk.
 func (t *Tree) validateArena() error {
-	n := NodeID(len(t.rects))
+	n := NodeID(len(t.xlo))
 	if t.root < 0 || t.root >= n {
 		return fmt.Errorf("rtree: arena root %d out of range [0,%d)", t.root, n)
 	}

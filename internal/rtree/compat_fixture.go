@@ -1,0 +1,36 @@
+package rtree
+
+import "repro/internal/geo"
+
+// CompatFixtureTree builds the deterministic tree behind
+// testdata/arena_v1.golden: a mixed insert/delete history that leaves a
+// non-trivial free list, live aggregate lists and recycled node IDs, so
+// the legacy-format fallback is exercised on an arena with dead slots.
+// The construction is pinned to an explicit LCG (not math/rand) so the
+// exact same tree can be rebuilt by any future build to compare against
+// the committed legacy bytes.
+func CompatFixtureTree() *Tree {
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / float64(1<<53)
+	}
+	t := New(WithIDAggregate())
+	var live []Entry
+	for i := 0; i < 600; i++ {
+		e := Entry{
+			Pt:  geo.Point{X: next() * 100, Y: next() * 80},
+			ID:  int32(i % 37),
+			Aux: int32(i % 11),
+		}
+		t.Insert(e)
+		live = append(live, e)
+		// Periodic deletions churn the free list and parent links.
+		if i%3 == 2 {
+			j := int(next() * float64(len(live)))
+			t.Delete(live[j])
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+	return t
+}

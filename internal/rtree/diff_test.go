@@ -191,7 +191,7 @@ func TestArenaRecycling(t *testing.T) {
 	for _, e := range entries {
 		tr.Insert(e)
 	}
-	grown := len(tr.rects)
+	grown := len(tr.xlo)
 	for round := 0; round < 3; round++ {
 		for _, e := range entries {
 			if !tr.Delete(e) {
@@ -205,8 +205,8 @@ func TestArenaRecycling(t *testing.T) {
 			tr.Insert(e)
 		}
 	}
-	if len(tr.rects) > grown*2 {
-		t.Fatalf("arena grew from %d to %d node slots over churn; free list not recycling", grown, len(tr.rects))
+	if len(tr.xlo) > grown*2 {
+		t.Fatalf("arena grew from %d to %d node slots over churn; free list not recycling", grown, len(tr.xlo))
 	}
 	if err := tr.checkInvariants(true); err != nil {
 		t.Fatal(err)

@@ -1,9 +1,9 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/geo"
 )
@@ -18,19 +18,64 @@ type Neighbor struct {
 	Dist  float64
 }
 
+// queryScratch bundles every per-query buffer of the best-first
+// traversals: the distance heap plus one gather block (four coordinate
+// planes and an out-slice sized to the node stride). Pooled so repeated
+// queries allocate only their result slice.
+type queryScratch struct {
+	h                        distHeap
+	xlo, ylo, xhi, yhi, dist [BlockSlots]float64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(queryScratch) }}
+
+func getScratch() *queryScratch { return scratchPool.Get().(*queryScratch) }
+
+func (s *queryScratch) release() {
+	if cap(s.h) <= 1<<16 { // don't pin pathological heaps in the pool
+		scratchPool.Put(s)
+	}
+}
+
+// pushChildren scores every child of n against q with one kernel call
+// over the gathered planar block and pushes all of them onto the heap.
+// The kernel result is bit-identical to per-child Rect.MinDist2, so the
+// pop order (and thus the traversal) matches the scalar path exactly.
+func (t *Tree) pushChildren(s *queryScratch, n NodeID, q geo.Point) {
+	cnt := t.GatherChildRects(n, s.xlo[:], s.ylo[:], s.xhi[:], s.yhi[:])
+	geo.MinDist2Block(s.xlo[:], s.ylo[:], s.xhi[:], s.yhi[:], q, s.dist[:cnt])
+	kids := t.Children(n)
+	for i := 0; i < cnt; i++ {
+		s.h.push(distItem{node: kids[i], dist: s.dist[i]})
+	}
+}
+
+// pushChildrenRoute is pushChildren under the route-MINDIST bound
+// (min over query points, Equation 3).
+func (t *Tree) pushChildrenRoute(s *queryScratch, n NodeID, query []geo.Point) {
+	cnt := t.GatherChildRects(n, s.xlo[:], s.ylo[:], s.xhi[:], s.yhi[:])
+	geo.MinDist2RouteBlock(s.xlo[:], s.ylo[:], s.xhi[:], s.yhi[:], query, s.dist[:cnt])
+	kids := t.Children(n)
+	for i := 0; i < cnt; i++ {
+		s.h.push(distItem{node: kids[i], dist: s.dist[i]})
+	}
+}
+
 // NearestK returns the k entries nearest to p in ascending distance order,
 // using best-first traversal with the MINDIST lower bound. Fewer than k are
 // returned if the tree is smaller than k. Ties are broken arbitrarily.
+// Internal-node children are scored blockwise with geo.MinDist2Block over
+// the planar arena; all per-query scratch comes from a pool.
 func (t *Tree) NearestK(p geo.Point, k int) []Neighbor {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
-	h := &distHeap{}
-	heap.Init(h)
-	heap.Push(h, distItem{node: t.root, dist: t.rects[t.root].MinDist2(p)})
+	s := getScratch()
+	defer s.release()
+	s.h = append(s.h[:0], distItem{node: t.root, dist: t.rect(t.root).MinDist2(p)})
 	out := make([]Neighbor, 0, k)
-	for h.Len() > 0 {
-		it := heap.Pop(h).(distItem)
+	for s.h.Len() > 0 {
+		it := s.h.popItem()
 		if it.node == NilNode {
 			out = append(out, Neighbor{Entry: it.entry, Dist: math.Sqrt(it.dist)})
 			if len(out) == k {
@@ -41,12 +86,10 @@ func (t *Tree) NearestK(p geo.Point, k int) []Neighbor {
 		n := it.node
 		if t.leaf[n] {
 			for _, e := range t.Entries(n) {
-				heap.Push(h, distItem{node: NilNode, entry: e, dist: e.Pt.Dist2(p)})
+				s.h.push(distItem{node: NilNode, entry: e, dist: e.Pt.Dist2(p)})
 			}
 		} else {
-			for _, c := range t.Children(n) {
-				heap.Push(h, distItem{node: c, dist: t.rects[c].MinDist2(p)})
-			}
+			t.pushChildren(s, n, p)
 		}
 	}
 	return out
@@ -58,21 +101,19 @@ func (t *Tree) NearestRouteK(query []geo.Point, k int) []Neighbor {
 	if k <= 0 || t.size == 0 || len(query) == 0 {
 		return nil
 	}
-	minDist2 := func(r geo.Rect) float64 {
-		best := math.Inf(1)
-		for _, q := range query {
-			if d := r.MinDist2(q); d < best {
-				best = d
-			}
+	s := getScratch()
+	defer s.release()
+	rootDist := math.Inf(1)
+	rr := t.rect(t.root)
+	for _, q := range query {
+		if d := rr.MinDist2(q); d < rootDist {
+			rootDist = d
 		}
-		return best
 	}
-	h := &distHeap{}
-	heap.Init(h)
-	heap.Push(h, distItem{node: t.root, dist: minDist2(t.rects[t.root])})
+	s.h = append(s.h[:0], distItem{node: t.root, dist: rootDist})
 	out := make([]Neighbor, 0, k)
-	for h.Len() > 0 {
-		it := heap.Pop(h).(distItem)
+	for s.h.Len() > 0 {
+		it := s.h.popItem()
 		if it.node == NilNode {
 			out = append(out, Neighbor{Entry: it.entry, Dist: math.Sqrt(it.dist)})
 			if len(out) == k {
@@ -83,12 +124,10 @@ func (t *Tree) NearestRouteK(query []geo.Point, k int) []Neighbor {
 		n := it.node
 		if t.leaf[n] {
 			for _, e := range t.Entries(n) {
-				heap.Push(h, distItem{node: NilNode, entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
+				s.h.push(distItem{node: NilNode, entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
 			}
 		} else {
-			for _, c := range t.Children(n) {
-				heap.Push(h, distItem{node: c, dist: minDist2(t.rects[c])})
-			}
+			t.pushChildrenRoute(s, n, query)
 		}
 	}
 	return out
@@ -112,6 +151,51 @@ func (h *distHeap) Pop() interface{} {
 	n := len(old)
 	it := old[n-1]
 	*h = old[:n-1]
+	return it
+}
+
+// push and popItem are the concrete-typed hot-path ops: container/heap
+// boxes every element through interface{}, which costs one allocation
+// per push. The sift loops below replicate the stdlib's up/down
+// algorithms comparison-for-comparison, so the pop order — equal-dist
+// ties included — is identical to heap.Push/heap.Pop over distHeap.
+func (h *distHeap) push(it distItem) {
+	*h = append(*h, it)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *distHeap) popItem() distItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift down over s[:n], mirroring stdlib down(0, n).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].dist < s[j1].dist {
+			j = j2
+		}
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
 }
 
@@ -213,8 +297,8 @@ func sortEntriesBy(entries []Entry, byX bool) {
 
 func (t *Tree) sortNodesBy(nodes []NodeID, byX bool) {
 	if byX {
-		sortSlice(nodes, func(a, b NodeID) bool { return t.rects[a].Center().X < t.rects[b].Center().X })
+		sortSlice(nodes, func(a, b NodeID) bool { return t.rect(a).Center().X < t.rect(b).Center().X })
 	} else {
-		sortSlice(nodes, func(a, b NodeID) bool { return t.rects[a].Center().Y < t.rects[b].Center().Y })
+		sortSlice(nodes, func(a, b NodeID) bool { return t.rect(a).Center().Y < t.rect(b).Center().Y })
 	}
 }

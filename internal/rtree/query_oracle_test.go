@@ -1,0 +1,177 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// nearestKScalar is the pre-kernel NearestK: fresh heap per query,
+// per-child Rect.MinDist2 scoring. Kept as the oracle the blocked
+// traversal must match result-for-result.
+func nearestKScalar(t *Tree, p geo.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &distHeap{}
+	heap.Init(h)
+	heap.Push(h, distItem{node: t.root, dist: t.rect(t.root).MinDist2(p)})
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.node == NilNode {
+			out = append(out, Neighbor{Entry: it.entry, Dist: math.Sqrt(it.dist)})
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		n := it.node
+		if t.leaf[n] {
+			for _, e := range t.Entries(n) {
+				heap.Push(h, distItem{node: NilNode, entry: e, dist: e.Pt.Dist2(p)})
+			}
+		} else {
+			for _, c := range t.Children(n) {
+				heap.Push(h, distItem{node: c, dist: t.rect(c).MinDist2(p)})
+			}
+		}
+	}
+	return out
+}
+
+// nearestRouteKScalar is the pre-kernel NearestRouteK.
+func nearestRouteKScalar(t *Tree, query []geo.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 || len(query) == 0 {
+		return nil
+	}
+	minDist2 := func(r geo.Rect) float64 {
+		best := math.Inf(1)
+		for _, q := range query {
+			if d := r.MinDist2(q); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	h := &distHeap{}
+	heap.Init(h)
+	heap.Push(h, distItem{node: t.root, dist: minDist2(t.rect(t.root))})
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.node == NilNode {
+			out = append(out, Neighbor{Entry: it.entry, Dist: math.Sqrt(it.dist)})
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		n := it.node
+		if t.leaf[n] {
+			for _, e := range t.Entries(n) {
+				heap.Push(h, distItem{node: NilNode, entry: e, dist: geo.PointRouteDist2(e.Pt, query)})
+			}
+		} else {
+			for _, c := range t.Children(n) {
+				heap.Push(h, distItem{node: c, dist: minDist2(t.rect(c))})
+			}
+		}
+	}
+	return out
+}
+
+func oracleTestTree(rng *rand.Rand, n int, bulk bool) *Tree {
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			Pt:  geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 800},
+			ID:  int32(rng.Intn(200)),
+			Aux: int32(rng.Intn(5)),
+		}
+	}
+	if bulk {
+		return BulkLoad(entries)
+	}
+	tr := New()
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	// Churn so the arena has recycled IDs and non-trivial parent links.
+	for i := 0; i < n/5; i++ {
+		tr.Delete(entries[rng.Intn(n)])
+	}
+	return tr
+}
+
+// TestNearestKMatchesScalarOracle asserts the blocked-kernel traversal
+// returns results identical (bit-for-bit, order included) to the
+// pre-kernel scalar path on seeded workloads — insert-built and
+// bulk-loaded trees, point and route queries, many k values.
+func TestNearestKMatchesScalarOracle(t *testing.T) {
+	for _, bulk := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(42))
+		for _, size := range []int{0, 1, 30, 500, 3000} {
+			tr := oracleTestTree(rng, size, bulk)
+			for q := 0; q < 50; q++ {
+				p := geo.Point{X: rng.Float64()*1200 - 100, Y: rng.Float64()*1000 - 100}
+				k := 1 + rng.Intn(20)
+				got, want := tr.NearestK(p, k), nearestKScalar(tr, p, k)
+				if len(got) != len(want) {
+					t.Fatalf("bulk=%v size=%d: kernel kNN returned %d, scalar %d", bulk, size, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("bulk=%v size=%d k=%d [%d]: kernel %+v, scalar %+v",
+							bulk, size, k, i, got[i], want[i])
+					}
+				}
+			}
+			for q := 0; q < 25; q++ {
+				route := make([]geo.Point, 1+rng.Intn(6))
+				for j := range route {
+					route[j] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 800}
+				}
+				k := 1 + rng.Intn(16)
+				got, want := tr.NearestRouteK(route, k), nearestRouteKScalar(tr, route, k)
+				if len(got) != len(want) {
+					t.Fatalf("bulk=%v size=%d: kernel route-kNN returned %d, scalar %d", bulk, size, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("bulk=%v size=%d route k=%d [%d]: kernel %+v, scalar %+v",
+							bulk, size, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkNearestK measures the pooled blocked-kernel traversal; the
+// Scalar variant is the pre-kernel per-child path with per-query heap
+// allocation. Run with -benchmem: the kernel path should report ~1
+// alloc/op (the result slice) versus the scalar path's heap churn.
+func BenchmarkNearestK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := oracleTestTree(rng, 100000, true)
+	queries := make([]geo.Point, 512)
+	for i := range queries {
+		queries[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 800}
+	}
+	b.Run("kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.NearestK(queries[i%len(queries)], 10)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nearestKScalar(tr, queries[i%len(queries)], 10)
+		}
+	})
+}

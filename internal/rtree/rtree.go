@@ -36,11 +36,15 @@ const NilNode NodeID = -1
 // usable; call New or BulkLoad. Tree is not safe for concurrent mutation;
 // concurrent read-only use is safe.
 type Tree struct {
-	// Per-node arrays, indexed by NodeID.
-	rects  []geo.Rect
-	leaf   []bool
-	counts []int32  // live children (internal) or entries (leaf)
-	parent []NodeID // NilNode for the root
+	// Per-node arrays, indexed by NodeID. Node MBRs are stored planar —
+	// four contiguous coordinate planes instead of a []geo.Rect — so
+	// traversals can gather a node's child rects into contiguous blocks
+	// and score them with one geo.MinDist2Block kernel call (see
+	// GatherChildRects and query.go).
+	xlo, ylo, xhi, yhi []float64
+	leaf               []bool
+	counts             []int32  // live children (internal) or entries (leaf)
+	parent             []NodeID // NilNode for the root
 	// Fixed-stride blocks: node n owns kids[n*slotsPerNode : ...] and
 	// ents[n*slotsPerNode : ...]. Only one of the two blocks is live per
 	// node (kids for internal nodes, ents for leaves).
@@ -93,7 +97,7 @@ func (t *Tree) Len() int { return t.size }
 
 // NumNodes returns the number of live nodes in the arena (capacity minus
 // the free list); exposed for occupancy stats.
-func (t *Tree) NumNodes() int { return len(t.rects) - len(t.free) }
+func (t *Tree) NumNodes() int { return len(t.xlo) - len(t.free) }
 
 // Root returns the root node ID for manual traversal. The returned ID
 // (and everything below it) is invalidated by any subsequent Insert or
@@ -106,13 +110,13 @@ func (t *Tree) Root() NodeID { return t.root }
 func (t *Tree) Generation() uint64 { return t.generation }
 
 // Bounds returns the MBR of all entries (empty rect if the tree is empty).
-func (t *Tree) Bounds() geo.Rect { return t.rects[t.root] }
+func (t *Tree) Bounds() geo.Rect { return t.rect(t.root) }
 
 // IsLeaf reports whether the node is a leaf.
 func (t *Tree) IsLeaf(n NodeID) bool { return t.leaf[n] }
 
 // Rect returns the node's minimum bounding rectangle.
-func (t *Tree) Rect(n NodeID) geo.Rect { return t.rects[n] }
+func (t *Tree) Rect(n NodeID) geo.Rect { return t.rect(n) }
 
 // Children returns the child IDs of an internal node (empty for leaves).
 // The slice aliases the arena: read-only, invalidated by mutations.
@@ -141,20 +145,61 @@ func (t *Tree) IDList(n NodeID) []int32 {
 // TracksIDs reports whether the tree maintains the distinct-ID aggregate.
 func (t *Tree) TracksIDs() bool { return t.trackIDs }
 
+// BlockSlots is the maximum number of rectangles GatherChildRects can
+// write: the per-node slot stride of the kids/ents arenas. Callers size
+// their gather scratch to this.
+const BlockSlots = slotsPerNode
+
+// rect materialises node n's MBR from the planar coordinate arrays.
+func (t *Tree) rect(n NodeID) geo.Rect {
+	return geo.Rect{
+		Min: geo.Point{X: t.xlo[n], Y: t.ylo[n]},
+		Max: geo.Point{X: t.xhi[n], Y: t.yhi[n]},
+	}
+}
+
+// setRect scatters r into node n's planar coordinate slots. All MBR
+// mutations go through geo.Rect operations and this helper, so the
+// planar layout carries the exact float semantics (empty-rect sentinels,
+// NaN propagation) of the previous []geo.Rect storage.
+func (t *Tree) setRect(n NodeID, r geo.Rect) {
+	t.xlo[n], t.ylo[n] = r.Min.X, r.Min.Y
+	t.xhi[n], t.yhi[n] = r.Max.X, r.Max.Y
+}
+
+// GatherChildRects copies the MBR coordinates of n's children into the
+// four destination slices (each must have capacity for at least
+// BlockSlots values) and returns the child count. The result is a
+// contiguous planar block ready for geo.MinDist2Block; the copy touches
+// four cache-resident planes and is far cheaper than the per-child
+// virtual scoring it replaces.
+func (t *Tree) GatherChildRects(n NodeID, xlo, ylo, xhi, yhi []float64) int {
+	kids := t.Children(n)
+	for i, c := range kids {
+		xlo[i], ylo[i] = t.xlo[c], t.ylo[c]
+		xhi[i], yhi[i] = t.xhi[c], t.yhi[c]
+	}
+	return len(kids)
+}
+
 // alloc returns a fresh node, recycling the free list when possible. The
 // node starts empty with an empty rect and no parent.
 func (t *Tree) alloc(leaf bool) NodeID {
 	if k := len(t.free); k > 0 {
 		n := t.free[k-1]
 		t.free = t.free[:k-1]
-		t.rects[n] = geo.EmptyRect()
+		t.setRect(n, geo.EmptyRect())
 		t.leaf[n] = leaf
 		t.counts[n] = 0
 		t.parent[n] = NilNode
 		return n
 	}
-	n := NodeID(len(t.rects))
-	t.rects = append(t.rects, geo.EmptyRect())
+	n := NodeID(len(t.xlo))
+	empty := geo.EmptyRect()
+	t.xlo = append(t.xlo, empty.Min.X)
+	t.ylo = append(t.ylo, empty.Min.Y)
+	t.xhi = append(t.xhi, empty.Max.X)
+	t.yhi = append(t.yhi, empty.Max.Y)
 	t.leaf = append(t.leaf, leaf)
 	t.counts = append(t.counts, 0)
 	t.parent = append(t.parent, NilNode)
@@ -188,7 +233,7 @@ func (t *Tree) Insert(e Entry) {
 	t.ents[base+int(t.counts[leaf])] = e
 	t.counts[leaf]++
 	for _, n := range path {
-		t.rects[n] = t.rects[n].ExpandPoint(e.Pt)
+		t.setRect(n, t.rect(n).ExpandPoint(e.Pt))
 		if t.trackIDs {
 			t.aggAdd(n, e.ID)
 		}
@@ -208,7 +253,7 @@ func (t *Tree) Insert(e Entry) {
 			t.counts[r] = 2
 			t.parent[cur] = r
 			t.parent[sib] = r
-			t.rects[r] = t.rects[cur].Union(t.rects[sib])
+			t.setRect(r, t.rect(cur).Union(t.rect(sib)))
 			if t.trackIDs {
 				t.rebuildAgg(r)
 			}
@@ -233,8 +278,9 @@ func (t *Tree) chooseLeafPath(p geo.Point) []NodeID {
 		best := NilNode
 		bestEnl, bestArea := 0.0, 0.0
 		for _, c := range t.Children(n) {
-			enl := t.rects[c].Enlargement(geo.RectOf(p))
-			area := t.rects[c].Area()
+			cr := t.rect(c)
+			enl := cr.Enlargement(geo.RectOf(p))
+			area := cr.Area()
 			if best == NilNode || enl < bestEnl || (enl == bestEnl && area < bestArea) {
 				best, bestEnl, bestArea = c, enl, area
 			}
@@ -254,10 +300,10 @@ func (t *Tree) recomputeRect(n NodeID) {
 		}
 	} else {
 		for _, c := range t.Children(n) {
-			r = r.Union(t.rects[c])
+			r = r.Union(t.rect(c))
 		}
 	}
-	t.rects[n] = r
+	t.setRect(n, r)
 }
 
 // Delete removes one entry equal to e (same point and payload). It reports
@@ -308,7 +354,7 @@ func (t *Tree) findLeaf(n NodeID, e Entry) NodeID {
 		return NilNode
 	}
 	for _, c := range t.Children(n) {
-		if t.rects[c].Contains(e.Pt) {
+		if t.rect(c).Contains(e.Pt) {
 			if l := t.findLeaf(c, e); l != NilNode {
 				return l
 			}
@@ -344,7 +390,7 @@ func (t *Tree) condense(path []NodeID) {
 	}
 	if !t.leaf[t.root] && t.counts[t.root] == 0 {
 		t.leaf[t.root] = true
-		t.rects[t.root] = geo.EmptyRect()
+		t.setRect(t.root, geo.EmptyRect())
 	}
 	// Reinsert orphaned entries one by one. Subtree reinsertion at the
 	// right level is an optimisation; entry reinsertion is simpler and the
@@ -400,7 +446,7 @@ func (t *Tree) Search(rect geo.Rect, fn func(Entry) bool) {
 			return true
 		}
 		for _, c := range t.Children(n) {
-			if t.rects[c].Intersects(rect) {
+			if t.rect(c).Intersects(rect) {
 				if !walk(c) {
 					return false
 				}
@@ -408,7 +454,7 @@ func (t *Tree) Search(rect geo.Rect, fn func(Entry) bool) {
 		}
 		return true
 	}
-	if t.rects[t.root].Intersects(rect) {
+	if t.rect(t.root).Intersects(rect) {
 		walk(t.root)
 	}
 }
@@ -451,8 +497,8 @@ func (t *Tree) checkInvariants(strictFill bool) error {
 				return 0, fmt.Errorf("leaf fill %d out of [%d,%d]", cnt, minEntries, maxEntries)
 			}
 			for _, e := range t.Entries(n) {
-				if !t.rects[n].Contains(e.Pt) {
-					return 0, fmt.Errorf("entry %v outside leaf rect %v", e.Pt, t.rects[n])
+				if !t.rect(n).Contains(e.Pt) {
+					return 0, fmt.Errorf("entry %v outside leaf rect %v", e.Pt, t.rect(n))
 				}
 				count++
 			}
@@ -471,8 +517,8 @@ func (t *Tree) checkInvariants(strictFill bool) error {
 			if t.parent[c] != n {
 				return 0, fmt.Errorf("child %d of %d has parent %d", c, n, t.parent[c])
 			}
-			if !t.rects[n].ContainsRect(t.rects[c]) {
-				return 0, fmt.Errorf("child rect %v outside parent %v", t.rects[c], t.rects[n])
+			if !t.rect(n).ContainsRect(t.rect(c)) {
+				return 0, fmt.Errorf("child rect %v outside parent %v", t.rect(c), t.rect(n))
 			}
 			d, err := walk(c, depth+1, false)
 			if err != nil {

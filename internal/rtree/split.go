@@ -28,7 +28,7 @@ func (t *Tree) splitNode(n NodeID) NodeID {
 	} else {
 		scratch := t.splitKids[:cnt]
 		copy(scratch, t.kids[base:base+cnt])
-		ga, gb := quadraticSplit(cnt, func(i int) geo.Rect { return t.rects[scratch[i]] })
+		ga, gb := quadraticSplit(cnt, func(i int) geo.Rect { return t.rect(scratch[i]) })
 		for i, idx := range ga {
 			t.kids[base+i] = scratch[idx]
 		}

@@ -150,6 +150,12 @@ func newEngineMetrics(e *Engine, shards int) *engineMetrics {
 	reg.GaugeFunc("rknnt_standing_queries", "Registered standing queries.", func() float64 {
 		return float64(e.standing.Load())
 	})
+	reg.GaugeFunc("rknnt_refine_parallel_threshold", "Candidate count at which refine verification goes parallel; adapts to the measured per-candidate verify cost vs goroutine handoff cost.", func() float64 {
+		return float64(e.tuner.Threshold())
+	})
+	reg.GaugeFunc("rknnt_repair_replay_budget", "Journal ops a lazy cache repair may replay before recomputing is cheaper; adapts to the measured recompute cost vs per-op replay cost.", func() float64 {
+		return float64(e.repairTune.Budget())
+	})
 	reg.GaugeFunc("rknnt_slow_queries", "Queries recorded by the slow-query log since start.", func() float64 {
 		return float64(e.slow.Total())
 	})

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -36,8 +37,10 @@ import (
 // before or after [re-add X] therefore converges to the same answer:
 // whatever the live index says about X now.
 
-// repairReplayOps caps the journal ops (adds + removals) one repair may
-// replay; beyond it a recompute is cheaper than the rank checks.
+// repairReplayOps is the historical fixed cap on journal ops (adds +
+// removals) one repair may replay. It now only seeds the adaptive
+// budget (tuning.go), which replaces it as soon as both the recompute
+// cost and the per-op replay cost have been measured.
 const repairReplayOps = 1024
 
 // repairAddBudget caps adds x cached-entries per eager repair walk
@@ -68,6 +71,7 @@ func (e *Engine) tryRepair(key string, ent *cachedQuery) *QueryResult {
 	var adds []model.TransitionID
 	var removedSet map[model.TransitionID]bool
 	touched := ent.touched
+	budget := e.repairTune.Budget()
 	ops := 0
 	for s := range cur.Shards {
 		if old.Shards[s] == cur.Shards[s] {
@@ -91,11 +95,12 @@ func (e *Engine) tryRepair(key string, ent *cachedQuery) *QueryResult {
 				}
 			}
 		}
-		if ops > repairReplayOps {
+		if ops > budget {
 			return nil
 		}
 	}
 
+	replayStart := time.Now()
 	ids := ent.res.Transitions
 	changed := false
 	if removedSet != nil {
@@ -135,6 +140,7 @@ func (e *Engine) tryRepair(key string, ent *cachedQuery) *QueryResult {
 		}
 	}
 
+	e.repairTune.ObserveReplay(ops, time.Since(replayStart))
 	stats := ent.res.Stats
 	stats.Results = len(ids)
 	stats.ShardsTouched = touched

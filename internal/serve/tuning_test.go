@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestRepairTunerBudget(t *testing.T) {
+	rt := newRepairTuner()
+	if rt.Budget() != repairBudgetDefault {
+		t.Fatalf("fresh budget = %d, want default %d", rt.Budget(), repairBudgetDefault)
+	}
+
+	// One-sided observations keep the default: the trade needs both costs.
+	rt.ObserveRecompute(time.Millisecond)
+	if rt.Budget() != repairBudgetDefault {
+		t.Fatalf("budget moved on recompute-only observations: %d", rt.Budget())
+	}
+
+	// Expensive recompute, near-free replay: replay pays far beyond the
+	// old fixed cap, budget climbs to the ceiling.
+	for i := 0; i < 50; i++ {
+		rt.ObserveRecompute(time.Second)
+		rt.ObserveReplay(1000, time.Microsecond)
+	}
+	if rt.Budget() != repairBudgetMax {
+		t.Fatalf("budget after cheap replays = %d, want ceiling %d", rt.Budget(), repairBudgetMax)
+	}
+
+	// Cheap recompute, expensive replay: repairing is rarely worth it,
+	// budget drops to the floor.
+	for i := 0; i < 100; i++ {
+		rt.ObserveRecompute(10 * time.Microsecond)
+		rt.ObserveReplay(10, time.Second)
+	}
+	if rt.Budget() != repairBudgetMin {
+		t.Fatalf("budget after expensive replays = %d, want floor %d", rt.Budget(), repairBudgetMin)
+	}
+
+	// Degenerate observations are ignored.
+	before, rec, per := rt.Budget(), rt.RecomputeNanos(), rt.PerOpNanos()
+	rt.ObserveRecompute(0)
+	rt.ObserveReplay(0, time.Second)
+	rt.ObserveReplay(10, 0)
+	if rt.Budget() != before || rt.RecomputeNanos() != rec || rt.PerOpNanos() != per {
+		t.Fatal("degenerate observations moved the estimates")
+	}
+}
+
+// TestEngineTunerWiring checks the engine owns both adaptive tuners,
+// feeds the repair tuner from executed queries, and exports both as
+// gauges.
+func TestEngineTunerWiring(t *testing.T) {
+	_, x := testCity(t)
+	e := New(x, Options{})
+	defer e.Close()
+
+	if e.tuner == nil || e.repairTune == nil {
+		t.Fatal("engine constructed without tuners")
+	}
+	if _, err := e.RkNNT(queryY0, core.Options{K: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if e.repairTune.RecomputeNanos() == 0 {
+		t.Error("executed query did not feed the repair tuner's recompute estimate")
+	}
+
+	var sb strings.Builder
+	if err := e.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	for _, name := range []string{"rknnt_refine_parallel_threshold", "rknnt_repair_replay_budget"} {
+		if !strings.Contains(dump, name) {
+			t.Errorf("metric %s missing from registry dump", name)
+		}
+	}
+}
