@@ -6,6 +6,7 @@
 // Data sources, in precedence order:
 //
 //	rknnt-serve -index data/city.arena              # arena index snapshot: warm boot, no bulk load
+//	rknnt-serve -index data/city.arena -mmap        # ...served zero-copy out of a memory mapping
 //	rknnt-serve -snapshot data/city.snapshot        # dataset snapshot (routes+transitions+graph)
 //	rknnt-serve -csv data/                          # routes.csv + transitions.csv
 //	rknnt-serve -gtfs gtfs/                         # GTFS feed (routes only; transitions arrive via the API)
@@ -48,6 +49,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	indexPath := flag.String("index", "", "warm-boot from an arena index snapshot (written by -save-index or POST /v1/snapshot)")
+	mmapIndex := flag.Bool("mmap", false, "serve the -index snapshot straight out of a read-only memory mapping (zero-copy boot; unwritten shards stay file-backed)")
 	snapshot := flag.String("snapshot", "", "load a dataset snapshot (routes, transitions and network)")
 	csvDir := flag.String("csv", "", "load routes.csv and transitions.csv from this directory")
 	gtfsDir := flag.String("gtfs", "", "load a GTFS feed from this directory (routes only)")
@@ -68,17 +70,25 @@ func main() {
 		vertexOf map[model.StopID]graph.VertexID
 		epochs   serve.EpochVec
 		bootLoad time.Duration
+		snapFile *serve.SnapshotFile
 	)
 	if *indexPath != "" {
 		t0 := time.Now()
-		var err error
-		x, g, vertexOf, epochs, err = readIndexSnapshot(*indexPath)
+		sf, err := serve.OpenSnapshotFile(*indexPath, serve.SnapshotLoadOptions{Mmap: *mmapIndex})
 		if err != nil {
 			fatal(err)
 		}
+		// The mmap'd chain backs the index's arenas; keep it open for
+		// the process lifetime (closed after the engine, below).
+		snapFile = sf
+		x, g, vertexOf, epochs = sf.Index, sf.Network, sf.VertexOf, sf.Epochs
 		bootLoad = time.Since(t0)
-		fmt.Printf("arena snapshot loaded in %v (%d routes / %d transitions, epoch %d)\n",
-			bootLoad.Round(time.Millisecond), x.NumRoutes(), x.NumTransitions(), epochs.Sum())
+		mode := "heap"
+		if sf.Mapped() {
+			mode = "mmap"
+		}
+		fmt.Printf("arena snapshot loaded in %v (%s, %d file(s), %d routes / %d transitions, epoch %d)\n",
+			bootLoad.Round(time.Millisecond), mode, len(sf.Files()), x.NumRoutes(), x.NumTransitions(), epochs.Sum())
 	} else {
 		ds, dg, dv, err := loadData(*snapshot, *csvDir, *gtfsDir, *preset, *scale, *synN)
 		if err != nil {
@@ -104,6 +114,14 @@ func main() {
 		opts.SlowLog = obs.NewSlowLog(*slowlog, *slowlogCap)
 	}
 	engine := serve.New(x, opts)
+	if snapFile != nil {
+		// Close order matters: the engine must quiesce before the mmap
+		// backing its arenas is released.
+		defer snapFile.Close()
+		// Let the first on-demand checkpoint extend the existing chain
+		// instead of rewriting the base.
+		engine.SeedCheckpoint(snapFile.CheckpointSeed())
+	}
 	defer engine.Close()
 	if bootLoad > 0 {
 		engine.ObserveSnapshotLoad(bootLoad)
@@ -151,16 +169,6 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "rknnt-serve:", err)
 	os.Exit(1)
-}
-
-// readIndexSnapshot warm-boots from an arena snapshot file.
-func readIndexSnapshot(path string) (*index.Index, *graph.Graph, map[model.StopID]graph.VertexID, serve.EpochVec, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, nil, serve.EpochVec{}, err
-	}
-	defer f.Close()
-	return serve.ReadSnapshot(f)
 }
 
 func enabled(b bool) string {

@@ -1,0 +1,255 @@
+package dataio
+
+// Incremental checkpoint chains. A checkpoint chain is a base snapshot
+// container plus zero or more delta containers, each a complete,
+// self-framed container of its own (magic, sections, table, footer)
+// holding only the sections that changed since the previous link. The
+// chain is stitched back together at load time by overlaying each
+// delta's sections over its predecessors': the merged section set is
+// what a monolithic snapshot of the same state would contain.
+//
+// Files are named by convention: the base at `path`, deltas at
+// `path.delta.000001`, `path.delta.000002`, … (DeltaPath). Every delta
+// carries a `ckptmeta` section that pins it to its exact ancestry:
+//
+//	u32 version (1)   u32 zero
+//	u64 seq           (1 for the first delta after the base)
+//	u32 baseCRC       (section-table CRC of the base container)
+//	u32 parentCRC     (section-table CRC of the previous link:
+//	                   the base for seq 1, delta seq-1 otherwise)
+//
+// The CRC chaining makes loading unambiguous after any crash:
+//
+//   - a delta whose baseCRC does not match the live base belongs to an
+//     overwritten older base (a full checkpoint crashed between its
+//     rename and the stale-delta cleanup) — the chain simply ends there;
+//   - a delta whose baseCRC matches but whose parentCRC or seq does not
+//     chain is corruption and fails the load (ErrCorrupt);
+//   - a torn or missing delta file ends (or fails) the chain exactly at
+//     the last fully-durable link, because each delta is itself an
+//     atomically-renamed, checksummed container.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// SecCheckpoint tags the chain-linkage section present in every delta
+// container (and only there).
+const SecCheckpoint = "ckptmeta"
+
+const checkpointMetaVersion = 1
+
+// CheckpointMeta is a delta container's chain linkage.
+type CheckpointMeta struct {
+	Seq       uint64 // position in the chain; the first delta is 1
+	BaseCRC   uint32 // TableCRC of the chain's base container
+	ParentCRC uint32 // TableCRC of the previous link (base when Seq == 1)
+}
+
+// MarshalCheckpointMeta encodes the ckptmeta section payload.
+func MarshalCheckpointMeta(m CheckpointMeta) []byte {
+	b := make([]byte, 0, 24)
+	b = binary.LittleEndian.AppendUint32(b, checkpointMetaVersion)
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	b = binary.LittleEndian.AppendUint64(b, m.Seq)
+	b = binary.LittleEndian.AppendUint32(b, m.BaseCRC)
+	b = binary.LittleEndian.AppendUint32(b, m.ParentCRC)
+	return b
+}
+
+// UnmarshalCheckpointMeta decodes a ckptmeta payload.
+func UnmarshalCheckpointMeta(b []byte) (CheckpointMeta, error) {
+	if len(b) != 24 {
+		return CheckpointMeta{}, corruptf("%q section is %d bytes, want 24", SecCheckpoint, len(b))
+	}
+	if v := binary.LittleEndian.Uint32(b); v != checkpointMetaVersion {
+		return CheckpointMeta{}, fmt.Errorf("dataio: %q version %d, want %d", SecCheckpoint, v, checkpointMetaVersion)
+	}
+	return CheckpointMeta{
+		Seq:       binary.LittleEndian.Uint64(b[8:]),
+		BaseCRC:   binary.LittleEndian.Uint32(b[16:]),
+		ParentCRC: binary.LittleEndian.Uint32(b[20:]),
+	}, nil
+}
+
+// DeltaPath names the seq'th delta of the chain based at path.
+func DeltaPath(path string, seq uint64) string {
+	return fmt.Sprintf("%s.delta.%06d", path, seq)
+}
+
+// Overlay returns a new Sections view with every section of delta laid
+// over base: delta's payload wins on shared tags, base-only tags are
+// kept, and delta-only tags are appended in delta's file order. The
+// ckptmeta linkage section is dropped — it describes one file, not the
+// merged state. Payloads still alias their source buffers.
+func Overlay(base, delta *Sections) *Sections {
+	out := &Sections{
+		byTag:    make(map[string][]byte, len(base.byTag)+len(delta.byTag)),
+		tableCRC: delta.tableCRC,
+	}
+	for _, r := range base.refs {
+		ref := r
+		if db, ok := delta.byTag[r.tag]; ok {
+			ref.length = uint64(len(db))
+			out.byTag[r.tag] = db
+		} else {
+			out.byTag[r.tag] = base.byTag[r.tag]
+		}
+		out.refs = append(out.refs, ref)
+	}
+	for _, r := range delta.refs {
+		if r.tag == SecCheckpoint {
+			continue
+		}
+		if _, ok := base.byTag[r.tag]; ok {
+			continue
+		}
+		out.refs = append(out.refs, r)
+		out.byTag[r.tag] = delta.byTag[r.tag]
+	}
+	return out
+}
+
+// Chain is an open checkpoint chain: the base container, every delta
+// that chains onto it, and the merged section view. All containers stay
+// open (mapped) for the Chain's lifetime; Close releases them together.
+type Chain struct {
+	// Secs is the merged section view — what a monolithic snapshot of
+	// the checkpointed state would contain. Payloads alias the open
+	// containers below.
+	Secs *Sections
+	// Files lists the chain's files in load order, base first.
+	Files []string
+	// Seq is the last applied delta's sequence number (0: base only).
+	Seq uint64
+	// BaseCRC and TipCRC are the section-table CRCs of the base and of
+	// the last applied link; a checkpoint writer resumes the chain from
+	// them.
+	BaseCRC uint32
+	TipCRC  uint32
+	// Mapped reports whether every container is OS-memory-mapped.
+	Mapped bool
+
+	containers []*MmapContainer
+}
+
+// OpenChain opens the checkpoint chain based at path: the base
+// container, then path.delta.000001, 000002, … for as long as the files
+// exist and chain onto the base (see the package comment for the
+// ancestry rules). useMmap selects zero-copy mappings; with it false
+// every file is read onto the heap instead.
+func OpenChain(path string, useMmap bool) (*Chain, error) {
+	c := &Chain{}
+	base, err := openContainer(path, useMmap)
+	if err != nil {
+		return nil, err
+	}
+	c.containers = append(c.containers, base)
+	c.Files = append(c.Files, path)
+	c.Secs = base.Sections()
+	c.BaseCRC = base.Sections().TableCRC()
+	c.TipCRC = c.BaseCRC
+	c.Mapped = base.Mapped()
+	if _, stray := base.Sections().Lookup(SecCheckpoint); stray {
+		c.Close()
+		return nil, corruptf("base snapshot %s carries a %q section (is it a delta?)", path, SecCheckpoint)
+	}
+
+	for seq := uint64(1); ; seq++ {
+		dp := DeltaPath(path, seq)
+		dc, err := openContainer(dp, useMmap)
+		if errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		mb, ok := dc.Sections().Lookup(SecCheckpoint)
+		if !ok {
+			dc.Close()
+			c.Close()
+			return nil, corruptf("delta %s has no %q section", dp, SecCheckpoint)
+		}
+		meta, err := UnmarshalCheckpointMeta(mb)
+		if err != nil {
+			dc.Close()
+			c.Close()
+			return nil, err
+		}
+		if meta.BaseCRC != c.BaseCRC {
+			// A stale delta from an overwritten base: the chain ends at
+			// the previous link. Not corruption — a full checkpoint may
+			// crash between renaming the new base and removing old
+			// deltas.
+			dc.Close()
+			break
+		}
+		if meta.Seq != seq || meta.ParentCRC != c.TipCRC {
+			dc.Close()
+			c.Close()
+			return nil, corruptf("delta %s does not chain: seq %d parent %08x, want seq %d parent %08x",
+				dp, meta.Seq, meta.ParentCRC, seq, c.TipCRC)
+		}
+		c.containers = append(c.containers, dc)
+		c.Files = append(c.Files, dp)
+		c.Secs = Overlay(c.Secs, dc.Sections())
+		c.Seq = seq
+		c.TipCRC = dc.Sections().TableCRC()
+		c.Mapped = c.Mapped && dc.Mapped()
+	}
+	return c, nil
+}
+
+// Size returns the chain's total on-disk bytes.
+func (c *Chain) Size() int64 {
+	var n int64
+	for _, mc := range c.containers {
+		n += mc.Size()
+	}
+	return n
+}
+
+// Close releases every container in the chain. All merged section
+// payloads — and any arena views built over them — are invalid
+// afterwards.
+func (c *Chain) Close() error {
+	var first error
+	for _, mc := range c.containers {
+		if err := mc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.containers = nil
+	c.Secs = nil
+	return first
+}
+
+// openContainer opens one container file, honouring the mmap choice.
+func openContainer(path string, useMmap bool) (*MmapContainer, error) {
+	if useMmap {
+		return OpenMmap(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, err := readAllFile(f, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	secs, err := ParseSections(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return &MmapContainer{secs: secs, data: data, mapped: false, size: fi.Size()}, nil
+}

@@ -1,0 +1,178 @@
+package dataio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeContainer writes a container with the given tag→payload pairs
+// (in order) through WriteFileAtomic and returns the section-table CRC.
+func writeContainer(t *testing.T, path string, secs [][2]string) uint32 {
+	t.Helper()
+	var crc uint32
+	_, err := WriteFileAtomic(path, func(w io.Writer) error {
+		sw := NewSectionWriter(w)
+		for _, s := range secs {
+			if err := sw.Section(s[0], []byte(s[1])); err != nil {
+				return err
+			}
+		}
+		if err := sw.Close(); err != nil {
+			return err
+		}
+		crc = sw.TableCRC()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("writeContainer(%s): %v", path, err)
+	}
+	return crc
+}
+
+func writeDelta(t *testing.T, path string, meta CheckpointMeta, secs [][2]string) uint32 {
+	t.Helper()
+	all := append([][2]string{{SecCheckpoint, string(MarshalCheckpointMeta(meta))}}, secs...)
+	return writeContainer(t, path, all)
+}
+
+func TestOpenMmapRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	wantCRC := writeContainer(t, path, [][2]string{{"alpha", "payload-a"}, {"beta", "payload-b"}})
+
+	for _, useMmap := range []bool{true, false} {
+		c, err := openContainer(path, useMmap)
+		if err != nil {
+			t.Fatalf("open(mmap=%v): %v", useMmap, err)
+		}
+		if got, _ := c.Sections().Lookup("alpha"); string(got) != "payload-a" {
+			t.Fatalf("mmap=%v alpha = %q", useMmap, got)
+		}
+		if got, _ := c.Sections().Lookup("beta"); string(got) != "payload-b" {
+			t.Fatalf("mmap=%v beta = %q", useMmap, got)
+		}
+		if c.Sections().TableCRC() != wantCRC {
+			t.Fatalf("mmap=%v tableCRC = %08x, want %08x", useMmap, c.Sections().TableCRC(), wantCRC)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if err := c.Close(); err != nil { // double-close must be safe
+			t.Fatalf("second close: %v", err)
+		}
+	}
+}
+
+func TestOpenChainOverlay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	baseCRC := writeContainer(t, path, [][2]string{{"alpha", "a0"}, {"beta", "b0"}})
+	d1CRC := writeDelta(t, DeltaPath(path, 1),
+		CheckpointMeta{Seq: 1, BaseCRC: baseCRC, ParentCRC: baseCRC},
+		[][2]string{{"beta", "b1"}})
+	writeDelta(t, DeltaPath(path, 2),
+		CheckpointMeta{Seq: 2, BaseCRC: baseCRC, ParentCRC: d1CRC},
+		[][2]string{{"beta", "b2"}, {"gamma", "g2"}})
+
+	for _, useMmap := range []bool{true, false} {
+		ch, err := OpenChain(path, useMmap)
+		if err != nil {
+			t.Fatalf("OpenChain(mmap=%v): %v", useMmap, err)
+		}
+		if ch.Seq != 2 || len(ch.Files) != 3 {
+			t.Fatalf("mmap=%v seq=%d files=%v", useMmap, ch.Seq, ch.Files)
+		}
+		for tag, want := range map[string]string{"alpha": "a0", "beta": "b2", "gamma": "g2"} {
+			if got, _ := ch.Secs.Lookup(tag); string(got) != want {
+				t.Fatalf("mmap=%v %s = %q, want %q", useMmap, tag, got, want)
+			}
+		}
+		if ch.Secs.Has(SecCheckpoint) {
+			t.Fatalf("merged view leaked the %q section", SecCheckpoint)
+		}
+		ch.Close()
+	}
+}
+
+func TestOpenChainStaleDeltaEndsChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	oldCRC := writeContainer(t, path, [][2]string{{"alpha", "old"}})
+	writeDelta(t, DeltaPath(path, 1),
+		CheckpointMeta{Seq: 1, BaseCRC: oldCRC, ParentCRC: oldCRC},
+		[][2]string{{"alpha", "old-delta"}})
+	// Full checkpoint overwrote the base but crashed before cleaning up
+	// the delta. The stale delta must be ignored, not applied or fatal.
+	writeContainer(t, path, [][2]string{{"alpha", "new"}})
+
+	ch, err := OpenChain(path, false)
+	if err != nil {
+		t.Fatalf("OpenChain: %v", err)
+	}
+	defer ch.Close()
+	if ch.Seq != 0 {
+		t.Fatalf("seq = %d, want 0 (stale delta ignored)", ch.Seq)
+	}
+	if got, _ := ch.Secs.Lookup("alpha"); string(got) != "new" {
+		t.Fatalf("alpha = %q, want %q", got, "new")
+	}
+}
+
+func TestOpenChainBrokenLinkIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	baseCRC := writeContainer(t, path, [][2]string{{"alpha", "a0"}})
+	// Right base, wrong parent CRC: genuine chain corruption.
+	writeDelta(t, DeltaPath(path, 1),
+		CheckpointMeta{Seq: 1, BaseCRC: baseCRC, ParentCRC: baseCRC ^ 0xdeadbeef},
+		[][2]string{{"alpha", "a1"}})
+
+	_, err := OpenChain(path, false)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenChainRejectsDeltaAsBase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	writeDelta(t, path, CheckpointMeta{Seq: 1, BaseCRC: 1, ParentCRC: 1},
+		[][2]string{{"alpha", "a1"}})
+	_, err := OpenChain(path, false)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteFileAtomicReplacesAndCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("fresh"))
+		return err
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("WriteFileAtomic = (%d, %v)", n, err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "fresh" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+
+	// A failing writer must leave the previous file untouched.
+	boom := errors.New("boom")
+	if _, err := WriteFileAtomic(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "fresh" {
+		t.Fatalf("failed write clobbered target: %q", got)
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 1 {
+		t.Fatalf("temp file left behind after failure: %v", ents)
+	}
+}

@@ -1,0 +1,98 @@
+package dataio
+
+// Memory-mapped snapshot containers. The container format is mmap-ready
+// by construction (8-byte-aligned sections located through the table at
+// the end), so a loader can validate the file once and then serve every
+// section as a zero-copy view of the mapping instead of materializing
+// it on the heap. On platforms without mmap support the same type
+// degrades to a single sequential read into one heap buffer: callers
+// get identical semantics either way and can check Mapped() when the
+// distinction matters (benchmarks, metrics).
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// readAllFile reads the whole file into one exactly-sized buffer.
+func readAllFile(f *os.File, size int64) ([]byte, error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MmapContainer is an open, validated arena snapshot container whose
+// section payloads alias a read-only memory mapping (or, on platforms
+// without mmap, a heap copy of the file).
+//
+// Lifetime: every []byte handed out by Sections() — and every arena
+// view built over one — aliases the mapping and dies with it. Close
+// only once nothing derived from the container can be touched again.
+// The mapping is read-only at the OS level where supported: writing
+// through a view is a fault, not silent corruption.
+type MmapContainer struct {
+	secs   *Sections
+	data   []byte
+	mapped bool
+	size   int64
+}
+
+// OpenMmap opens and validates the container at path, preferring a
+// read-only memory mapping over a heap read. Every section checksum is
+// verified up front (one sequential pass, which doubles as page
+// warm-up for the table); payload bytes are not copied.
+func OpenMmap(path string) (*MmapContainer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		return nil, corruptf("snapshot %s is empty", path)
+	}
+	data, mapped, err := mapFile(f, fi.Size())
+	if err != nil {
+		return nil, fmt.Errorf("dataio: mapping %s: %w", path, err)
+	}
+	secs, err := ParseSections(data)
+	if err != nil {
+		if mapped {
+			unmapFile(data)
+		}
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return &MmapContainer{secs: secs, data: data, mapped: mapped, size: fi.Size()}, nil
+}
+
+// Sections returns the parsed container. Payloads alias the mapping;
+// treat them as read-only and do not retain them past Close.
+func (c *MmapContainer) Sections() *Sections { return c.secs }
+
+// Mapped reports whether the container is an OS memory mapping (true)
+// or the portable heap fallback (false).
+func (c *MmapContainer) Mapped() bool { return c.mapped }
+
+// Size returns the container file's size in bytes.
+func (c *MmapContainer) Size() int64 { return c.size }
+
+// Close releases the mapping. Every view into the container is invalid
+// afterwards. Closing a heap-backed container is a no-op. Close is not
+// idempotent-safe against concurrent readers: quiesce them first.
+func (c *MmapContainer) Close() error {
+	if c.data == nil {
+		return nil
+	}
+	data, mapped := c.data, c.mapped
+	c.data, c.secs = nil, nil
+	if !mapped {
+		return nil
+	}
+	return unmapFile(data)
+}

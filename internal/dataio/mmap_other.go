@@ -1,0 +1,17 @@
+//go:build !unix
+
+package dataio
+
+import "os"
+
+// mapFile on platforms without a usable mmap: one sequential read into
+// an exactly-sized heap buffer. Callers observe Mapped() == false.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	buf, err := readAllFile(f, size)
+	if err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package dataio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. If the kernel refuses the mapping
+// (filesystem without mmap support, resource limits), it falls back to
+// the portable heap read rather than failing the boot.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if int64(int(size)) != size {
+		return nil, false, syscall.EOVERFLOW
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err == nil {
+		return data, true, nil
+	}
+	data, err = readAllFile(f, size)
+	return data, false, err
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

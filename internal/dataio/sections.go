@@ -36,11 +36,25 @@ package dataio
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 )
+
+// ErrCorrupt is wrapped by every container parse failure — bad magic,
+// truncation, out-of-bounds tables, checksum mismatches — so loaders
+// can distinguish a damaged snapshot (errors.Is(err, ErrCorrupt)) from
+// environmental failures such as a missing file. A corrupt container is
+// never partially loaded: parsing fails before any payload is handed
+// out.
+var ErrCorrupt = errors.New("snapshot corrupt")
+
+// corruptf builds an ErrCorrupt-wrapped parse error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("dataio: %w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
 
 const (
 	// ContainerMagic opens every arena snapshot file.
@@ -73,11 +87,17 @@ type sectionRef struct {
 // Methods record the first error and turn later calls into no-ops, so
 // callers may check the error once, at Close.
 type SectionWriter struct {
-	w    io.Writer
-	off  uint64
-	refs []sectionRef
-	err  error
+	w        io.Writer
+	off      uint64
+	refs     []sectionRef
+	err      error
+	tableCRC uint32
 }
+
+// TableCRC returns the CRC-32C of the section table written by Close
+// (zero before Close). It identifies the finished container exactly;
+// incremental-checkpoint writers record it to chain the next delta.
+func (sw *SectionWriter) TableCRC() uint32 { return sw.tableCRC }
 
 // NewSectionWriter starts a container on w by writing the magic.
 func NewSectionWriter(w io.Writer) *SectionWriter {
@@ -158,20 +178,49 @@ func (sw *SectionWriter) Close() error {
 		table = append(table, e[:]...)
 	}
 	sw.write(table)
+	crc := crc32.Checksum(table, castagnoli)
 	var foot [footerLen]byte
 	binary.LittleEndian.PutUint64(foot[0:], tableOff)
 	binary.LittleEndian.PutUint64(foot[8:], uint64(len(sw.refs)))
-	binary.LittleEndian.PutUint32(foot[16:], crc32.Checksum(table, castagnoli))
+	binary.LittleEndian.PutUint32(foot[16:], crc)
 	copy(foot[24:], footerMagic)
 	sw.write(foot[:])
+	if sw.err == nil {
+		sw.tableCRC = crc
+	}
 	return sw.err
 }
 
 // Sections is a parsed arena snapshot container. Payload slices alias the
 // underlying buffer: treat them as read-only.
 type Sections struct {
-	refs  []sectionRef
-	byTag map[string][]byte
+	refs     []sectionRef
+	byTag    map[string][]byte
+	tableCRC uint32
+}
+
+// TableCRC returns the CRC-32C of the container's section table. The
+// table covers every section's tag, offset, length and payload CRC, so
+// this single value identifies the container's exact content; the
+// incremental-checkpoint chain uses it to link a delta to its parent.
+func (s *Sections) TableCRC() uint32 { return s.tableCRC }
+
+// SectionRange locates one section inside its container file.
+type SectionRange struct {
+	Tag    string
+	Offset uint64 // of the section header
+	Length uint64 // payload bytes, excluding header and padding
+}
+
+// Ranges returns the sections' file locations in file order, for
+// tooling that needs the physical layout (the corruption-corpus
+// generator truncates and bit-flips by these boundaries).
+func (s *Sections) Ranges() []SectionRange {
+	out := make([]SectionRange, len(s.refs))
+	for i, r := range s.refs {
+		out[i] = SectionRange{Tag: r.tag, Offset: r.offset, Length: r.length}
+	}
+	return out
 }
 
 // Lookup returns the payload of the tagged section.
@@ -215,14 +264,14 @@ func ReadSections(r io.Reader) (*Sections, error) {
 // mmapped). Every section checksum is verified; payloads alias data.
 func ParseSections(data []byte) (*Sections, error) {
 	if len(data) < len(ContainerMagic)+footerLen {
-		return nil, fmt.Errorf("dataio: snapshot too short (%d bytes)", len(data))
+		return nil, corruptf("snapshot too short (%d bytes)", len(data))
 	}
 	if !IsContainer(data) {
-		return nil, fmt.Errorf("dataio: bad snapshot magic %q", data[:len(ContainerMagic)])
+		return nil, corruptf("bad snapshot magic %q", data[:len(ContainerMagic)])
 	}
 	foot := data[len(data)-footerLen:]
 	if string(foot[24:]) != footerMagic {
-		return nil, fmt.Errorf("dataio: bad snapshot footer magic (truncated file?)")
+		return nil, corruptf("bad snapshot footer magic (truncated file?)")
 	}
 	tableOff := binary.LittleEndian.Uint64(foot[0:])
 	count := binary.LittleEndian.Uint64(foot[8:])
@@ -231,17 +280,17 @@ func ParseSections(data []byte) (*Sections, error) {
 	// checksum, and a wild count could wrap count*tableEntry right back
 	// into range.
 	if count > uint64(len(data))/tableEntry {
-		return nil, fmt.Errorf("dataio: snapshot section count %d out of bounds", count)
+		return nil, corruptf("snapshot section count %d out of bounds", count)
 	}
 	tableEnd := tableOff + count*tableEntry
 	if tableOff > uint64(len(data)) || tableEnd != uint64(len(data)-footerLen) {
-		return nil, fmt.Errorf("dataio: snapshot section table out of bounds")
+		return nil, corruptf("snapshot section table out of bounds")
 	}
 	table := data[tableOff:tableEnd]
 	if crc32.Checksum(table, castagnoli) != tableCRC {
-		return nil, fmt.Errorf("dataio: snapshot section table checksum mismatch")
+		return nil, corruptf("snapshot section table checksum mismatch")
 	}
-	s := &Sections{byTag: make(map[string][]byte, count)}
+	s := &Sections{byTag: make(map[string][]byte, count), tableCRC: tableCRC}
 	for i := uint64(0); i < count; i++ {
 		e := table[i*tableEntry:]
 		ref := sectionRef{
@@ -253,18 +302,18 @@ func ParseSections(data []byte) (*Sections, error) {
 		payloadOff := ref.offset + headerLen
 		if ref.offset+headerLen < ref.offset || payloadOff+ref.length < payloadOff ||
 			payloadOff+ref.length > tableOff {
-			return nil, fmt.Errorf("dataio: section %q out of bounds", ref.tag)
+			return nil, corruptf("section %q out of bounds", ref.tag)
 		}
 		hdr := data[ref.offset : ref.offset+headerLen]
 		if trimTag(hdr[:tagLen]) != ref.tag || binary.LittleEndian.Uint64(hdr[tagLen:]) != ref.length {
-			return nil, fmt.Errorf("dataio: section %q header disagrees with table", ref.tag)
+			return nil, corruptf("section %q header disagrees with table", ref.tag)
 		}
 		payload := data[payloadOff : payloadOff+ref.length]
 		if crc32.Checksum(payload, castagnoli) != ref.crc {
-			return nil, fmt.Errorf("dataio: section %q checksum mismatch", ref.tag)
+			return nil, corruptf("section %q checksum mismatch", ref.tag)
 		}
 		if _, dup := s.byTag[ref.tag]; dup {
-			return nil, fmt.Errorf("dataio: duplicate section tag %q", ref.tag)
+			return nil, corruptf("duplicate section tag %q", ref.tag)
 		}
 		s.refs = append(s.refs, ref)
 		s.byTag[ref.tag] = payload

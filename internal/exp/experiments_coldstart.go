@@ -9,29 +9,43 @@ import (
 	"time"
 
 	"repro/internal/dataio"
+	"repro/internal/gen"
 	"repro/internal/index"
 	"repro/internal/model"
 )
 
-// ColdStart measures boot time from cold storage: parsing the CSV files
-// and STR bulk-loading the indexes (what every pre-snapshot restart of
-// rknnt-serve paid) versus a sequential read of the arena snapshot
-// (what `rknnt-serve -index` pays). Both paths end with a query-ready
-// Index over the same data; the loaded index is validated against the
-// built one by cardinality and answers queries identically (the
-// round-trip differential tests assert that).
+// ColdStart measures boot time from cold storage three ways: parsing the
+// CSV files and STR bulk-loading the indexes (what every pre-snapshot
+// restart of rknnt-serve paid), a sequential heap materialisation of the
+// arena snapshot (`rknnt-serve -index`), and a zero-copy memory mapping
+// of the same file (`rknnt-serve -index -mmap`). All three paths end
+// with a query-ready Index over the same data; the loaded indexes are
+// validated against the built one by cardinality and answer queries
+// identically (the round-trip differential tests assert that).
+//
+// The synthetic workload is swept at x1/x2/x4 of the configured
+// transition count: heap load grows with the dataset (every arena is
+// decoded onto the heap), while the mmap boot only pays for the small
+// tables — the arena planes stay file-backed until first write.
 func (s *Suite) ColdStart() (*Table, error) {
 	t := &Table{
 		ID:    "coldstart",
-		Title: "Cold start: CSV bulk-load vs arena snapshot load",
+		Title: "Cold start: CSV bulk-load vs arena snapshot load (heap vs mmap)",
 		Header: []string{"dataset", "routes", "transitions",
-			"csv_ms", "arena_ms", "speedup", "csv_bytes", "arena_bytes"},
+			"csv_ms", "heap_ms", "mmap_ms", "csv/heap", "heap/mmap", "arena_bytes", "mapped_bytes"},
 		Notes: []string{
-			"csv_ms = read routes.csv+transitions.csv + STR bulk-load; arena_ms = sequential arena snapshot read",
-			"arena load restores the R-tree arenas verbatim: no parsing, no sorting, no re-insertion",
+			"csv_ms = read routes.csv+transitions.csv + STR bulk-load; heap_ms = sequential arena snapshot read; mmap_ms = mmap + zero-copy view assembly",
+			"heap load restores the R-tree arenas verbatim: no parsing, no sorting, no re-insertion",
+			"mmap boot leaves the arena planes file-backed (mapped_bytes); only the ID tables materialise",
 		},
 	}
-	for _, w := range []*workload{s.LA(), s.Synthetic()} {
+	workloads := []*workload{s.LA()}
+	for _, mult := range []int{1, 2, 4} {
+		cfg := gen.Synthetic(s.Cfg.Scale, s.Cfg.SynTransitions*mult)
+		workloads = append(workloads,
+			s.build(fmt.Sprintf("NYC-Synthetic-x%d", mult), cfg))
+	}
+	for _, w := range workloads {
 		if err := s.coldStartRow(t, w); err != nil {
 			return nil, err
 		}
@@ -85,8 +99,8 @@ func (s *Suite) coldStartRow(t *Table, w *workload) error {
 	}
 	csvElapsed := time.Since(csvStart)
 
-	// Arena path: one sequential read, arenas restored verbatim.
-	arenaStart := time.Now()
+	// Heap path: one sequential read, arenas decoded onto the heap.
+	heapStart := time.Now()
 	f, err := os.Open(arena)
 	if err != nil {
 		return err
@@ -96,19 +110,39 @@ func (s *Suite) coldStartRow(t *Table, w *workload) error {
 	if err != nil {
 		return err
 	}
-	arenaElapsed := time.Since(arenaStart)
+	heapElapsed := time.Since(heapStart)
 
-	if loaded.NumRoutes() != built.NumRoutes() || loaded.NumTransitions() != built.NumTransitions() {
-		return fmt.Errorf("exp: coldstart: loaded index has %d/%d routes/transitions, built has %d/%d",
-			loaded.NumRoutes(), loaded.NumTransitions(), built.NumRoutes(), built.NumTransitions())
+	// Mmap path: map the file, hand the arenas out as views.
+	mmapStart := time.Now()
+	mc, err := dataio.OpenMmap(arena)
+	if err != nil {
+		return err
+	}
+	mapped, err := index.SnapshotFromSectionsOpts(mc.Sections(), index.LoadOptions{View: true})
+	if err != nil {
+		mc.Close()
+		return err
+	}
+	mmapElapsed := time.Since(mmapStart)
+	mappedBytes := mapped.FileBackedBytes()
+	if err := mc.Close(); err != nil {
+		return err
 	}
 
-	csvBytes := fileSize(routesCSV) + fileSize(transCSV)
+	for _, x := range []*index.Index{loaded, mapped} {
+		if x.NumRoutes() != built.NumRoutes() || x.NumTransitions() != built.NumTransitions() {
+			return fmt.Errorf("exp: coldstart: loaded index has %d/%d routes/transitions, built has %d/%d",
+				x.NumRoutes(), x.NumTransitions(), built.NumRoutes(), built.NumTransitions())
+		}
+	}
+
 	t.AddRow(w.Name, loaded.NumRoutes(), loaded.NumTransitions(),
 		float64(csvElapsed.Microseconds())/1000,
-		float64(arenaElapsed.Microseconds())/1000,
-		float64(csvElapsed)/float64(arenaElapsed),
-		csvBytes, fileSize(arena))
+		float64(heapElapsed.Microseconds())/1000,
+		float64(mmapElapsed.Microseconds())/1000,
+		float64(csvElapsed)/float64(heapElapsed),
+		float64(heapElapsed)/float64(mmapElapsed),
+		fileSize(arena), mappedBytes)
 	return nil
 }
 

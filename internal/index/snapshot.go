@@ -43,6 +43,23 @@ func TRShardTag(i int) string { return fmt.Sprintf("trsh%03d", i) }
 // container. The caller owns the SectionWriter and may add further
 // sections (network, serve metadata) before Close.
 func AppendSnapshotSections(sw *dataio.SectionWriter, x *Index) error {
+	return appendSections(sw, x, true, func(int) bool { return true })
+}
+
+// AppendDeltaSections writes the subset of index sections an
+// incremental checkpoint needs: the small whole-index tables (idxmeta,
+// transitions, shard assignment, expiry heap) always, the structural
+// sections (routes, RR-tree arena) only when structural is set, and
+// shard arenas only where shardChanged reports true. Overlaying the
+// result onto the previous chain state (dataio.Overlay) reproduces
+// exactly the sections a full AppendSnapshotSections would emit,
+// because unwritten shards are by definition unmodified since the
+// previous link.
+func AppendDeltaSections(sw *dataio.SectionWriter, x *Index, structural bool, shardChanged func(int) bool) error {
+	return appendSections(sw, x, structural, shardChanged)
+}
+
+func appendSections(sw *dataio.SectionWriter, x *Index, structural bool, shardChanged func(int) bool) error {
 	// idxmeta: u32 version, u32 shard count, i32 next-shard cursor,
 	// u32 zero, u64 routes, u64 transitions.
 	meta := make([]byte, 0, 32)
@@ -54,16 +71,18 @@ func AppendSnapshotSections(sw *dataio.SectionWriter, x *Index) error {
 	meta = binary.LittleEndian.AppendUint64(meta, uint64(len(x.transitions)))
 	sw.Section(SecIndexMeta, meta)
 
-	routes := make([]model.Route, 0, len(x.routes))
-	for _, r := range x.routes {
-		routes = append(routes, *r)
+	if structural {
+		routes := make([]model.Route, 0, len(x.routes))
+		for _, r := range x.routes {
+			routes = append(routes, *r)
+		}
+		sort.Slice(routes, func(i, j int) bool { return routes[i].ID < routes[j].ID })
+		rb, err := dataio.MarshalRoutes(routes)
+		if err != nil {
+			return err
+		}
+		sw.Section(dataio.SecRoutes, rb)
 	}
-	sort.Slice(routes, func(i, j int) bool { return routes[i].ID < routes[j].ID })
-	rb, err := dataio.MarshalRoutes(routes)
-	if err != nil {
-		return err
-	}
-	sw.Section(dataio.SecRoutes, rb)
 
 	ts := make([]model.Transition, 0, len(x.transitions))
 	for _, t := range x.transitions {
@@ -93,9 +112,13 @@ func AppendSnapshotSections(sw *dataio.SectionWriter, x *Index) error {
 	}
 	sw.Section(SecExpiry, exp)
 
-	sw.Section(SecRRTree, x.rr.AppendArena(nil))
+	if structural {
+		sw.Section(SecRRTree, x.rr.AppendArena(nil))
+	}
 	for i, sh := range x.trShards {
-		sw.Section(TRShardTag(i), sh.AppendArena(nil))
+		if shardChanged(i) {
+			sw.Section(TRShardTag(i), sh.AppendArena(nil))
+		}
 	}
 	return sw.Err()
 }
@@ -109,8 +132,23 @@ func WriteSnapshot(w io.Writer, x *Index) error {
 	return sw.Close()
 }
 
+// LoadOptions tunes snapshot reassembly.
+type LoadOptions struct {
+	// View loads the RR-tree and shard arenas as zero-copy views of the
+	// section payloads (rtree.TreeFromArenaView) instead of heap copies.
+	// The sections — typically an mmap'd container — must then outlive
+	// the Index; trees migrate themselves to the heap on first write.
+	View bool
+}
+
 // SnapshotFromSections reassembles an Index from a parsed container.
 func SnapshotFromSections(secs *dataio.Sections) (*Index, error) {
+	return SnapshotFromSectionsOpts(secs, LoadOptions{})
+}
+
+// SnapshotFromSectionsOpts reassembles an Index with explicit load
+// options.
+func SnapshotFromSectionsOpts(secs *dataio.Sections, o LoadOptions) (*Index, error) {
 	meta, ok := secs.Lookup(SecIndexMeta)
 	if !ok {
 		return nil, fmt.Errorf("index: snapshot has no %q section (dataset-only snapshot?)", SecIndexMeta)
@@ -202,11 +240,15 @@ func SnapshotFromSections(secs *dataio.Sections) (*Index, error) {
 		}
 	}
 
+	loadTree := rtree.TreeFromArena
+	if o.View {
+		loadTree = rtree.TreeFromArenaView
+	}
 	rrb, ok := secs.Lookup(SecRRTree)
 	if !ok {
 		return nil, fmt.Errorf("index: snapshot has no %q section", SecRRTree)
 	}
-	if x.rr, err = rtree.TreeFromArena(rrb); err != nil {
+	if x.rr, err = loadTree(rrb); err != nil {
 		return nil, fmt.Errorf("index: RR-tree: %w", err)
 	}
 	if !x.rr.TracksIDs() {
@@ -223,7 +265,7 @@ func SnapshotFromSections(secs *dataio.Sections) (*Index, error) {
 		if !ok {
 			return nil, fmt.Errorf("index: snapshot has no %q section", TRShardTag(i))
 		}
-		if x.trShards[i], err = rtree.TreeFromArena(sb); err != nil {
+		if x.trShards[i], err = loadTree(sb); err != nil {
 			return nil, fmt.Errorf("index: TR-tree shard %d: %w", i, err)
 		}
 		endpoints += x.trShards[i].Len()
@@ -232,6 +274,34 @@ func SnapshotFromSections(secs *dataio.Sections) (*Index, error) {
 		return nil, fmt.Errorf("index: TR-tree shards hold %d endpoints, want %d", endpoints, 2*len(ds.Transitions))
 	}
 	return x, nil
+}
+
+// FileBackedArenas reports how many of the index's arenas (RR-tree plus
+// shards) still alias the snapshot buffer they were view-loaded from.
+// Zero for heap-loaded indexes and for view-loaded ones after every
+// arena took a write. Callers must hold the same locks a read needs.
+func (x *Index) FileBackedArenas() int {
+	n := 0
+	if x.rr.FileBacked() {
+		n++
+	}
+	for _, sh := range x.trShards {
+		if sh.FileBacked() {
+			n++
+		}
+	}
+	return n
+}
+
+// FileBackedBytes reports the arena bytes still served from the
+// snapshot buffer (rtree.ViewBytes summed). Same locking rules as
+// FileBackedArenas.
+func (x *Index) FileBackedBytes() int64 {
+	b := x.rr.ViewBytes()
+	for _, sh := range x.trShards {
+		b += sh.ViewBytes()
+	}
+	return b
 }
 
 // ReadSnapshot deserialises an index written by WriteSnapshot (or any

@@ -161,6 +161,14 @@ func (t *Tree) WriteArena(w io.Writer) error {
 // TreeFromArena reconstructs a tree from an AppendArena payload. The
 // buffer is copied; the returned tree does not alias data.
 func TreeFromArena(data []byte) (*Tree, error) {
+	return treeFromArena(data, false)
+}
+
+// treeFromArena decodes an arena payload. With view set (and the host
+// and buffer eligible — see canViewArena) the four rect planes and the
+// kids/ents blocks are zero-copy reinterpretations of data instead of
+// heap copies; everything else is always materialized.
+func treeFromArena(data []byte, view bool) (*Tree, error) {
 	d := &arenaDecoder{b: data}
 	version := d.u32()
 	flags := d.u32()
@@ -198,17 +206,17 @@ func TreeFromArena(data []byte) (*Tree, error) {
 		size:       int(size),
 		generation: generation,
 		trackIDs:   flags&arenaFlagIDAgg != 0,
-		xlo:        make([]float64, n),
-		ylo:        make([]float64, n),
-		xhi:        make([]float64, n),
-		yhi:        make([]float64, n),
 		leaf:       make([]bool, n),
 		counts:     make([]int32, n),
 		parent:     make([]NodeID, n),
-		kids:       make([]NodeID, n*slotsPerNode),
-		ents:       make([]Entry, n*slotsPerNode),
 		free:       make([]NodeID, freeCount),
 	}
+	// View-backed loads alias the buffer only for the arrays that
+	// dominate the payload (~99% of bytes: rect planes, kids, ents).
+	// The small per-node arrays are cheap to copy and keeping them heap
+	// means the mutation hot path (counts, leaf flags, free list) never
+	// touches a read-only mapping.
+	t.viewBacked = view && version == arenaVersion && canViewArena(data)
 	// Each array is pulled out of the buffer in one bounds check and
 	// decoded with a fixed-stride loop: the load is memory-bandwidth
 	// bound, not call-overhead bound.
@@ -216,6 +224,8 @@ func TreeFromArena(data []byte) (*Tree, error) {
 	if version == arenaVersionLegacy {
 		// v1 stored rects as interleaved {minx,miny,maxx,maxy} rows;
 		// de-interleave into the planar arrays on load.
+		t.xlo, t.ylo = make([]float64, n), make([]float64, n)
+		t.xhi, t.yhi = make([]float64, n), make([]float64, n)
 		if b := d.take(32 * n); b != nil {
 			for i := 0; i < n; i++ {
 				row := b[32*i:]
@@ -225,7 +235,14 @@ func TreeFromArena(data []byte) (*Tree, error) {
 				t.yhi[i] = math.Float64frombits(le.Uint64(row[24:]))
 			}
 		}
+	} else if t.viewBacked {
+		t.xlo = viewFloat64s(d.take(8*n), n)
+		t.ylo = viewFloat64s(d.take(8*n), n)
+		t.xhi = viewFloat64s(d.take(8*n), n)
+		t.yhi = viewFloat64s(d.take(8*n), n)
 	} else {
+		t.xlo, t.ylo = make([]float64, n), make([]float64, n)
+		t.xhi, t.yhi = make([]float64, n), make([]float64, n)
 		for _, plane := range [4][]float64{t.xlo, t.ylo, t.xhi, t.yhi} {
 			if b := d.take(8 * n); b != nil {
 				for i := range plane {
@@ -251,19 +268,29 @@ func TreeFromArena(data []byte) (*Tree, error) {
 		}
 	}
 	d.pad()
-	if b := d.take(4 * len(t.kids)); b != nil {
-		for i := range t.kids {
-			t.kids[i] = NodeID(int32(le.Uint32(b[4*i:])))
+	if t.viewBacked {
+		t.kids = viewNodeIDs(d.take(4*n*slotsPerNode), n*slotsPerNode)
+	} else {
+		t.kids = make([]NodeID, n*slotsPerNode)
+		if b := d.take(4 * len(t.kids)); b != nil {
+			for i := range t.kids {
+				t.kids[i] = NodeID(int32(le.Uint32(b[4*i:])))
+			}
 		}
 	}
 	d.pad()
-	if b := d.take(24 * len(t.ents)); b != nil {
-		for i := range t.ents {
-			row := b[24*i:]
-			t.ents[i].Pt.X = math.Float64frombits(le.Uint64(row))
-			t.ents[i].Pt.Y = math.Float64frombits(le.Uint64(row[8:]))
-			t.ents[i].ID = int32(le.Uint32(row[16:]))
-			t.ents[i].Aux = int32(le.Uint32(row[20:]))
+	if t.viewBacked {
+		t.ents = viewEntries(d.take(24*n*slotsPerNode), n*slotsPerNode)
+	} else {
+		t.ents = make([]Entry, n*slotsPerNode)
+		if b := d.take(24 * len(t.ents)); b != nil {
+			for i := range t.ents {
+				row := b[24*i:]
+				t.ents[i].Pt.X = math.Float64frombits(le.Uint64(row))
+				t.ents[i].Pt.Y = math.Float64frombits(le.Uint64(row[8:]))
+				t.ents[i].ID = int32(le.Uint32(row[16:]))
+				t.ents[i].Aux = int32(le.Uint32(row[20:]))
+			}
 		}
 	}
 	if b := d.take(4 * len(t.free)); b != nil {

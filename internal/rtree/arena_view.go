@@ -1,0 +1,123 @@
+package rtree
+
+// Zero-copy arena views with copy-on-write. TreeFromArenaView decodes a
+// serialized arena like TreeFromArena but leaves the three dominant
+// arrays — the four rect coordinate planes, the kids block and the ents
+// block, together ~99% of the payload — as reinterpretations of the
+// source buffer instead of heap copies. Over an mmap'd snapshot that
+// makes tree reconstruction O(small arrays): the bulk stays file-backed
+// and is paged in lazily by queries.
+//
+// Safety rests on three facts checked here:
+//
+//   - the on-disk encoding of a plane/kids/ents element is exactly the
+//     in-memory representation on a little-endian host (asserted at
+//     compile time for the struct sizes, at run time for endianness);
+//   - the arena layout 8-byte-aligns every array, so a buffer whose
+//     base is 8-byte aligned (mmap pages, dataio sections) aligns every
+//     view (checked per buffer; misaligned buffers fall back to copy);
+//   - a view-backed tree copies the viewed arrays to the heap before
+//     its first mutation (ensureMutable, called by Insert and Delete
+//     under the caller's write lock), so a read-only mapping is never
+//     written through. Until then the source buffer must outlive the
+//     tree; after materialization no aliasing remains.
+//
+// Hosts that fail the endianness or representation checks silently take
+// the copying path — same results, no zero-copy win.
+
+import "unsafe"
+
+// Compile-time guards: a view reinterprets file bytes as these types, so
+// their in-memory layout must match the serialized layout exactly.
+var (
+	_ = [1]byte{}[unsafe.Sizeof(NodeID(0))-4]
+	_ = [1]byte{}[unsafe.Sizeof(Entry{})-24]
+	_ = [1]byte{}[unsafe.Offsetof(Entry{}.ID)-16]
+	_ = [1]byte{}[unsafe.Offsetof(Entry{}.Aux)-20]
+	_ = [1]byte{}[unsafe.Sizeof(float64(0))-8]
+)
+
+// hostLittleEndian reports whether native integer/float byte order
+// matches the little-endian serialized form.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// canViewArena reports whether data is eligible for zero-copy views:
+// little-endian host and an 8-byte-aligned base address (the arena
+// layout then aligns every interior array).
+func canViewArena(data []byte) bool {
+	if !hostLittleEndian || len(data) == 0 {
+		return false
+	}
+	return uintptr(unsafe.Pointer(&data[0]))%8 == 0
+}
+
+// TreeFromArenaView reconstructs a tree from an AppendArena payload,
+// aliasing data for the rect planes and kids/ents blocks where the host
+// allows it (see the file comment). The caller must keep data alive and
+// unmodified for the tree's lifetime; FileBacked reports whether any
+// aliasing is actually in effect.
+func TreeFromArenaView(data []byte) (*Tree, error) {
+	return treeFromArena(data, true)
+}
+
+// FileBacked reports whether the tree's bulk arrays still alias the
+// buffer it was loaded from. It flips to false permanently after the
+// first mutation (or if the host never supported views).
+func (t *Tree) FileBacked() bool { return t.viewBacked }
+
+// ensureMutable migrates a view-backed tree's aliased arrays to the
+// heap. Called at the top of every mutating entry point; a no-op after
+// the first call or for trees that never aliased anything. Runs under
+// the caller's write lock; concurrent readers under read locks never
+// observe the swap.
+func (t *Tree) ensureMutable() {
+	if !t.viewBacked {
+		return
+	}
+	t.xlo = append([]float64(nil), t.xlo...)
+	t.ylo = append([]float64(nil), t.ylo...)
+	t.xhi = append([]float64(nil), t.xhi...)
+	t.yhi = append([]float64(nil), t.yhi...)
+	t.kids = append([]NodeID(nil), t.kids...)
+	t.ents = append([]Entry(nil), t.ents...)
+	t.viewBacked = false
+}
+
+// The view helpers tolerate the decoder's error convention (take
+// returning nil) and zero-length arrays by yielding an empty slice; the
+// decoder's own error handling rejects the payload afterwards.
+
+func viewFloat64s(b []byte, n int) []float64 {
+	if n == 0 || b == nil {
+		return make([]float64, n)
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+}
+
+func viewNodeIDs(b []byte, n int) []NodeID {
+	if n == 0 || b == nil {
+		return make([]NodeID, n)
+	}
+	return unsafe.Slice((*NodeID)(unsafe.Pointer(&b[0])), n)
+}
+
+func viewEntries(b []byte, n int) []Entry {
+	if n == 0 || b == nil {
+		return make([]Entry, n)
+	}
+	return unsafe.Slice((*Entry)(unsafe.Pointer(&b[0])), n)
+}
+
+// ViewBytes reports the number of bytes a view-backed tree keeps
+// file-backed (0 once materialized): the four planes plus the kids and
+// ents blocks. Exposed for checkpoint metrics.
+func (t *Tree) ViewBytes() int64 {
+	if !t.viewBacked {
+		return 0
+	}
+	n := int64(len(t.xlo))
+	return n*4*8 + int64(len(t.kids))*4 + int64(len(t.ents))*24
+}

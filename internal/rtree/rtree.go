@@ -65,6 +65,11 @@ type Tree struct {
 	aggIDs   [][]int32
 	aggCnt   [][]int32
 
+	// viewBacked marks a tree whose planes/kids/ents still alias the
+	// buffer it was loaded from (TreeFromArenaView). Cleared by
+	// ensureMutable before the first mutation. See arena_view.go.
+	viewBacked bool
+
 	// Reusable scratch buffers (single-writer only).
 	pathBuf   []NodeID
 	splitEnts [slotsPerNode]Entry
@@ -225,6 +230,7 @@ func (t *Tree) freeNode(n NodeID) {
 
 // Insert adds an entry to the tree.
 func (t *Tree) Insert(e Entry) {
+	t.ensureMutable()
 	t.generation++
 	t.size++
 	path := t.chooseLeafPath(e.Pt)
@@ -314,6 +320,7 @@ func (t *Tree) Delete(e Entry) bool {
 	if leaf == NilNode {
 		return false
 	}
+	t.ensureMutable()
 	t.generation++
 	t.size--
 	base := int(leaf) * slotsPerNode

@@ -1,0 +1,216 @@
+package serve
+
+// Corruption and torn-write corpus. Starting from a known-good
+// checkpoint chain (base + two deltas), the corpus contains:
+//
+//   - the base truncated at every section boundary, at the section
+//     table, inside the footer, and at a handful of unaligned offsets
+//     (torn writes);
+//   - a bit flip in every CRC-covered region of every chain file: each
+//     section payload, the section table, and the footer;
+//   - a delta whose ckptmeta linkage chains onto the wrong parent.
+//
+// Every variant must fail the load with a clean typed error
+// (dataio.ErrCorrupt) — never a panic, never a silently partial index —
+// through both the heap loader and the mmap loader.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataio"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// buildChainFixture writes a base checkpoint plus two deltas at path.
+func buildChainFixture(t *testing.T, path string) {
+	t.Helper()
+	_, x := smallCity(t)
+	e := New(x, Options{})
+	defer e.Close()
+	if _, err := e.Checkpoint(path, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := e.AddTransition(model.Transition{
+			ID: model.TransitionID(500000 + i),
+			O:  geo.Pt(float64(i), 1),
+			D:  geo.Pt(float64(i)+2, 3),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Checkpoint(path, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Incremental || res.Seq != uint64(i+1) {
+			t.Fatalf("checkpoint %d: got %+v, want incremental seq %d", i, res, i+1)
+		}
+	}
+}
+
+// corpusVariant is one corrupted copy of the chain.
+type corpusVariant struct {
+	name string
+	// mutate corrupts the pristine chain files rooted at path.
+	mutate func(t *testing.T, path string)
+}
+
+// corpusVariants builds the corruption matrix from the pristine files.
+func corpusVariants(t *testing.T, pristine string) []corpusVariant {
+	t.Helper()
+	var vs []corpusVariant
+	files := []string{pristine, dataio.DeltaPath(pristine, 1), dataio.DeltaPath(pristine, 2)}
+	for fi, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := filepath.Base(f)
+		secs, err := dataio.ParseSections(data)
+		if err != nil {
+			t.Fatalf("pristine %s does not parse: %v", rel, err)
+		}
+
+		// Truncations: at every section boundary (start and end of each
+		// payload), before the table, inside the footer, plus torn
+		// mid-payload cuts. Only the base matters for pure truncation of
+		// deltas too — a torn delta must fail, not silently shorten the
+		// chain, since its predecessor committed it (the loader can't
+		// know that, but a torn *file* is detectable and must error).
+		cuts := map[int64]string{}
+		for _, r := range secs.Ranges() {
+			cuts[int64(r.Offset)] = fmt.Sprintf("sec-%s-start", r.Tag)
+			cuts[int64(r.Offset)+int64(r.Length)] = fmt.Sprintf("sec-%s-end", r.Tag)
+			cuts[int64(r.Offset)+int64(r.Length)/2] = fmt.Sprintf("sec-%s-torn", r.Tag)
+		}
+		cuts[int64(len(data))-32] = "table-boundary" // footer start
+		cuts[int64(len(data))-17] = "footer-torn"
+		cuts[int64(len(data))-1] = "footer-short"
+		for cut, label := range cuts {
+			if cut <= 0 || cut >= int64(len(data)) {
+				continue
+			}
+			cut, fidx := cut, fi
+			vs = append(vs, corpusVariant{
+				name: fmt.Sprintf("truncate/%s/%s@%d", rel, label, cut),
+				mutate: func(t *testing.T, path string) {
+					target := chainFile(path, fidx)
+					if err := os.Truncate(target, cut); err != nil {
+						t.Fatal(err)
+					}
+				},
+			})
+		}
+
+		// Bit flips: one per CRC-covered region — every section payload,
+		// the section table, and the footer fields.
+		flips := map[int64]string{
+			int64(len(data)) - 32: "table",
+			// footer tableCRC field (the footer's only CRC-covered-by-use
+			// bytes besides the magic; the _pad at len-12 is unchecked by
+			// design).
+			int64(len(data)) - 16: "footer-crc",
+			int64(len(data)) - 4:  "footer-magic",
+		}
+		for _, r := range secs.Ranges() {
+			if r.Length == 0 {
+				continue
+			}
+			flips[int64(r.Offset)+int64(r.Length)/3] = "sec-" + r.Tag
+		}
+		for off, label := range flips {
+			off, fidx := off, fi
+			vs = append(vs, corpusVariant{
+				name: fmt.Sprintf("bitflip/%s/%s@%d", rel, label, off),
+				mutate: func(t *testing.T, path string) {
+					target := chainFile(path, fidx)
+					b, err := os.ReadFile(target)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b[off] ^= 0x10
+					if err := os.WriteFile(target, b, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				},
+			})
+		}
+	}
+
+	// Chain-linkage corruption: delta 2 re-linked as if it were delta 1
+	// (wrong seq and parent for its position).
+	vs = append(vs, corpusVariant{
+		name: "chain/delta2-as-delta1",
+		mutate: func(t *testing.T, path string) {
+			d2, err := os.ReadFile(dataio.DeltaPath(path, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Remove(dataio.DeltaPath(path, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(dataio.DeltaPath(path, 1), d2, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+	return vs
+}
+
+func chainFile(path string, idx int) string {
+	if idx == 0 {
+		return path
+	}
+	return dataio.DeltaPath(path, uint64(idx))
+}
+
+func TestCorruptionCorpus(t *testing.T) {
+	pristine := filepath.Join(t.TempDir(), "pristine.arena")
+	buildChainFixture(t, pristine)
+	// Sanity: the pristine chain loads through both loaders.
+	for _, useMmap := range []bool{false, true} {
+		sf, err := OpenSnapshotFile(pristine, SnapshotLoadOptions{Mmap: useMmap})
+		if err != nil {
+			t.Fatalf("pristine chain (mmap=%v): %v", useMmap, err)
+		}
+		sf.Close()
+	}
+
+	for _, v := range corpusVariants(t, pristine) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "snap.arena")
+			copyChain(t, pristine, path)
+			v.mutate(t, path)
+			for _, useMmap := range []bool{false, true} {
+				sf, err := OpenSnapshotFile(path, SnapshotLoadOptions{Mmap: useMmap})
+				if err == nil {
+					sf.Close()
+					t.Fatalf("mmap=%v: corrupted chain loaded cleanly", useMmap)
+				}
+				if !errors.Is(err, dataio.ErrCorrupt) {
+					t.Fatalf("mmap=%v: err = %v, want dataio.ErrCorrupt", useMmap, err)
+				}
+			}
+		})
+	}
+}
+
+func copyChain(t *testing.T, from, to string) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		b, err := os.ReadFile(chainFile(from, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(chainFile(to, i), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -131,6 +131,9 @@ type Engine struct {
 	mx   *engineMetrics
 	slow *obs.SlowLog
 
+	// Incremental checkpoint chain state; see checkpoint.go.
+	ckpt ckptState
+
 	subMu   sync.Mutex
 	subs    map[int]*subscriber
 	nextSub int

@@ -46,6 +46,17 @@ type engineMetrics struct {
 	snapshotSave *obs.Histogram
 	snapshotLoad *obs.Histogram
 
+	// Checkpoints (checkpoint.go): durations and totals split by kind
+	// (full rewrite vs incremental delta), bytes and shard arenas
+	// written, and skipped no-ops.
+	ckptFull       *obs.Histogram
+	ckptDelta      *obs.Histogram
+	ckptTotalFull  *obs.Counter
+	ckptTotalDelta *obs.Counter
+	ckptBytes      *obs.Counter
+	ckptShards     *obs.Counter
+	ckptNoop       *obs.Counter
+
 	// Standing queries.
 	dropped *obs.Counter
 	mon     monitor.Metrics
@@ -120,6 +131,31 @@ func newEngineMetrics(e *Engine, shards int) *engineMetrics {
 		m.shardCommit[s] = sc.With(strconv.Itoa(s))
 	}
 	m.barrierCommit = sc.With("barrier")
+
+	ck := reg.HistogramVec("rknnt_checkpoint_seconds", "Checkpoint write duration by kind (\"full\": complete snapshot rewrite, \"delta\": incremental chain link).", nanos, "kind")
+	m.ckptFull = ck.With("full")
+	m.ckptDelta = ck.With("delta")
+	ct := reg.CounterVec("rknnt_checkpoint_total", "Completed checkpoints by kind.", "kind")
+	m.ckptTotalFull = ct.With("full")
+	m.ckptTotalDelta = ct.With("delta")
+	m.ckptBytes = reg.Counter("rknnt_checkpoint_bytes_total", "Bytes written by completed checkpoints (full and delta).")
+	m.ckptShards = reg.Counter("rknnt_checkpoint_shards_written_total", "Shard arenas serialized by completed checkpoints; deltas write only shards whose epoch advanced.")
+	m.ckptNoop = reg.Counter("rknnt_checkpoint_noop_total", "Incremental checkpoint requests skipped because the epoch vector had not moved.")
+	reg.GaugeFunc("rknnt_checkpoint_seq", "Current incremental-checkpoint chain length (0: base snapshot only, or never checkpointed).", func() float64 {
+		return float64(e.CheckpointSeq())
+	})
+	reg.GaugeFunc("rknnt_filebacked_arenas", "Index arenas (RR-tree + shards) still served zero-copy from the mmap'd snapshot; drops as writes migrate shards to the heap.", func() float64 {
+		e.rlockAll()
+		n := e.idx.FileBackedArenas()
+		e.runlockAll()
+		return float64(n)
+	})
+	reg.GaugeFunc("rknnt_filebacked_bytes", "Arena bytes still aliasing the mmap'd snapshot instead of the heap.", func() float64 {
+		e.rlockAll()
+		b := e.idx.FileBackedBytes()
+		e.runlockAll()
+		return float64(b)
+	})
 
 	reg.GaugeFunc("rknnt_epoch", "Current index version, the sum of the epoch vector; advances per committed batch and route change.", func() float64 {
 		return float64(e.Epoch())

@@ -8,12 +8,9 @@ package serve
 // so planning survives a restart.
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"time"
 
 	"repro/internal/dataio"
@@ -39,6 +36,14 @@ const SecEpochVec = "srvepocv"
 // finish (the arenas are dumped verbatim, so this is a memory copy, not
 // a rebuild), and the stored vector is exact.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
+	_, _, err := e.writeSnapshotTo(w)
+	return err
+}
+
+// writeSnapshotTo is WriteSnapshot returning what the checkpointer
+// needs: the exact epoch vector the snapshot captured and the written
+// container's section-table CRC (the chain identity of the file).
+func (e *Engine) writeSnapshotTo(w io.Writer) (EpochVec, uint32, error) {
 	start := time.Now()
 	defer func() { e.mx.snapshotSave.RecordDuration(time.Since(start)) }()
 	e.rlockAll()
@@ -48,44 +53,26 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 	sw.Section(SecEpoch, binary.LittleEndian.AppendUint64(nil, vec.Sum()))
 	sw.Section(SecEpochVec, vec.appendBytes(nil))
 	if err := index.AppendSnapshotSections(sw, e.idx); err != nil {
-		return err
+		return vec, 0, err
 	}
 	if e.opts.Network != nil {
 		sw.Section(dataio.SecNetwork, dataio.MarshalNetwork(e.opts.Network, e.opts.VertexOf))
 	}
-	return sw.Close()
+	if err := sw.Close(); err != nil {
+		return vec, 0, err
+	}
+	return vec, sw.TableCRC(), nil
 }
 
-// WriteSnapshotFile saves the engine's snapshot at path and returns its
-// size. The snapshot is written to a temporary file in the same
-// directory, fsynced, and renamed into place, so a crash mid-save never
-// leaves a torn or unsynced snapshot at path. Used by both the
+// WriteSnapshotFile saves a full engine snapshot at path and returns
+// its size. It is a full checkpoint: crash-safe replacement (fsync file
+// and directory around an atomic rename, see dataio.WriteFileAtomic),
+// serialized against concurrent checkpoint requests, and it resets the
+// engine's incremental-checkpoint chain at path. Used by the
 // rknnt-serve -save-index flag and the POST /v1/snapshot endpoint.
 func (e *Engine) WriteSnapshotFile(path string) (int64, error) {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
-	if err != nil {
-		return 0, err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	bw := bufio.NewWriterSize(tmp, 1<<20)
-	err = e.WriteSnapshot(bw)
-	if err == nil {
-		err = bw.Flush()
-	}
-	if err == nil {
-		err = tmp.Sync()
-	}
-	var size int64
-	if err == nil {
-		size, err = tmp.Seek(0, io.SeekEnd)
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return 0, err
-	}
-	return size, os.Rename(tmp.Name(), path)
+	res, err := e.Checkpoint(path, false)
+	return res.Bytes, err
 }
 
 // ReadSnapshot loads an engine snapshot (or any container with index
@@ -102,7 +89,13 @@ func ReadSnapshot(r io.Reader) (*index.Index, *graph.Graph, map[model.StopID]gra
 	if err != nil {
 		return nil, nil, nil, EpochVec{}, err
 	}
-	x, err := index.SnapshotFromSections(secs)
+	return snapshotStateFromSections(secs, index.LoadOptions{})
+}
+
+// snapshotStateFromSections reassembles the engine-boot state from a
+// parsed container (monolithic snapshot or merged checkpoint chain).
+func snapshotStateFromSections(secs *dataio.Sections, lo index.LoadOptions) (*index.Index, *graph.Graph, map[model.StopID]graph.VertexID, EpochVec, error) {
+	x, err := index.SnapshotFromSectionsOpts(secs, lo)
 	if err != nil {
 		return nil, nil, nil, EpochVec{}, err
 	}
@@ -128,3 +121,67 @@ func ReadSnapshot(r io.Reader) (*index.Index, *graph.Graph, map[model.StopID]gra
 	}
 	return x, g, vertexOf, vec, nil
 }
+
+// SnapshotLoadOptions tunes OpenSnapshotFile.
+type SnapshotLoadOptions struct {
+	// Mmap memory-maps the chain's containers and view-loads the arenas
+	// (zero-copy boot; dataset may exceed RAM). Off, every file is read
+	// onto the heap — chain handling is identical either way.
+	Mmap bool
+}
+
+// SnapshotFile is an opened on-disk snapshot (a full container plus any
+// incremental-checkpoint deltas chained onto it) with the engine state
+// reassembled from it. With Mmap the Index's arenas alias the open
+// files: keep the SnapshotFile alive as long as the Index (and any
+// Engine wrapping it) serves, and Close it after they quiesce.
+type SnapshotFile struct {
+	Index    *index.Index
+	Network  *graph.Graph
+	VertexOf map[model.StopID]graph.VertexID
+	Epochs   EpochVec
+
+	path  string
+	chain *dataio.Chain
+}
+
+// OpenSnapshotFile opens the checkpoint chain based at path and
+// reassembles the engine state it holds.
+func OpenSnapshotFile(path string, o SnapshotLoadOptions) (*SnapshotFile, error) {
+	ch, err := dataio.OpenChain(path, o.Mmap)
+	if err != nil {
+		return nil, err
+	}
+	x, g, vertexOf, vec, err := snapshotStateFromSections(ch.Secs, index.LoadOptions{View: o.Mmap})
+	if err != nil {
+		ch.Close()
+		return nil, err
+	}
+	return &SnapshotFile{Index: x, Network: g, VertexOf: vertexOf, Epochs: vec, path: path, chain: ch}, nil
+}
+
+// Files lists the chain's on-disk files in load order, base first.
+func (f *SnapshotFile) Files() []string { return f.chain.Files }
+
+// Mapped reports whether every chain file is OS-memory-mapped.
+func (f *SnapshotFile) Mapped() bool { return f.chain.Mapped }
+
+// Size returns the chain's total on-disk bytes.
+func (f *SnapshotFile) Size() int64 { return f.chain.Size() }
+
+// CheckpointSeed returns the seed that lets an engine booted from this
+// file continue its checkpoint chain incrementally instead of starting
+// with a full rewrite. Pass it to Engine.SeedCheckpoint right after New.
+func (f *SnapshotFile) CheckpointSeed() CheckpointSeed {
+	return CheckpointSeed{
+		Path:    f.path,
+		Seq:     f.chain.Seq,
+		BaseCRC: f.chain.BaseCRC,
+		TipCRC:  f.chain.TipCRC,
+		Vec:     f.Epochs.Clone(),
+	}
+}
+
+// Close releases the mapped files. Only call it after the Index (and
+// any Engine serving it) can no longer be touched.
+func (f *SnapshotFile) Close() error { return f.chain.Close() }

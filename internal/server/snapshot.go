@@ -2,7 +2,10 @@ package server
 
 // POST /v1/snapshot: persist the engine's index as an arena snapshot
 // file on the server's filesystem, for warm restarts via
-// `rknnt-serve -index <path>`.
+// `rknnt-serve -index <path>`. With incremental set (JSON field or
+// ?incremental=1) the engine extends the checkpoint chain at the path
+// with a delta holding only the shards whose epoch advanced, falling
+// back to a full snapshot when no chain exists there.
 
 import (
 	"fmt"
@@ -13,10 +16,12 @@ import (
 )
 
 type snapshotRequest struct {
-	// Path is the destination file. The snapshot is written to a
-	// temporary file in the same directory, fsynced and renamed into
-	// place, so a crash mid-save never leaves a torn snapshot at Path.
+	// Path is the destination file. The write is crash-safe: temp file,
+	// fsync, atomic rename, directory fsync.
 	Path string `json:"path"`
+	// Incremental requests a delta checkpoint onto the chain at Path.
+	// The ?incremental=1 query parameter sets it too.
+	Incremental bool `json:"incremental"`
 }
 
 type snapshotResponse struct {
@@ -25,6 +30,15 @@ type snapshotResponse struct {
 	Seconds float64        `json:"seconds"`
 	Epoch   uint64         `json:"epoch"`
 	Epochs  serve.EpochVec `json:"epoch_vector"`
+
+	// Incremental reports what was actually written: a request may fall
+	// back to a full snapshot (Incremental false, Seq 0), and a delta
+	// that found nothing changed reports NoOp with zero Bytes.
+	Incremental   bool   `json:"incremental"`
+	Seq           uint64 `json:"seq"`
+	ShardsWritten int    `json:"shards_written"`
+	Structural    bool   `json:"structural"`
+	NoOp          bool   `json:"no_op,omitempty"`
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -37,17 +51,26 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("path is required"))
 		return
 	}
+	if v := r.URL.Query().Get("incremental"); v == "1" || v == "true" {
+		req.Incremental = true
+	}
 	start := time.Now()
-	size, err := s.engine.WriteSnapshotFile(req.Path)
+	res, err := s.engine.Checkpoint(req.Path, req.Incremental)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshotResponse{
 		Path:    req.Path,
-		Bytes:   size,
+		Bytes:   res.Bytes,
 		Seconds: time.Since(start).Seconds(),
 		Epoch:   s.engine.Epoch(),
 		Epochs:  s.engine.EpochVector(),
+
+		Incremental:   res.Incremental,
+		Seq:           res.Seq,
+		ShardsWritten: res.ShardsWritten,
+		Structural:    res.Structural,
+		NoOp:          res.NoOp,
 	})
 }
