@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// buildRandomTimed is buildRandomSharded with timestamps on every
+// transition so temporal windows actually select.
+func buildRandomTimed(t testing.TB, rng *rand.Rand, nRoutes, nTrans, shards int) *index.Index {
+	t.Helper()
+	ds := &model.Dataset{}
+	nStops := nRoutes*3 + 10
+	stopPts := make([]geo.Point, nStops)
+	for i := range stopPts {
+		stopPts[i] = geo.Pt(rng.Float64()*60, rng.Float64()*60)
+	}
+	for r := 0; r < nRoutes; r++ {
+		n := 2 + rng.Intn(6)
+		route := model.Route{ID: int32(r + 1)}
+		start := rng.Intn(nStops)
+		for i := 0; i < n; i++ {
+			s := (start + i*(1+rng.Intn(3))) % nStops
+			route.Stops = append(route.Stops, int32(s))
+			route.Pts = append(route.Pts, stopPts[s])
+		}
+		ds.Routes = append(ds.Routes, route)
+	}
+	for i := 0; i < nTrans; i++ {
+		c := stopPts[rng.Intn(nStops)]
+		ds.Transitions = append(ds.Transitions, model.Transition{
+			ID:   int32(i + 1),
+			O:    geo.Pt(c.X+rng.NormFloat64()*3, c.Y+rng.NormFloat64()*3),
+			D:    geo.Pt(c.X+rng.NormFloat64()*8, c.Y+rng.NormFloat64()*8),
+			Time: 1 + rng.Int63n(1000),
+		})
+	}
+	x, err := index.BuildOpts(ds, index.Options{TRShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestBatchRkNNTMatchesSequential is the batch path's central property:
+// for random batches and option sets — every method, both semantics,
+// temporal windows, the ablation flags, sequential and parallel — the
+// per-query results of BatchRkNNT must be bit-identical to running
+// RkNNT on each query separately, and the volume stats (candidate
+// counts, result counts, shards touched) must agree.
+func TestBatchRkNNTMatchesSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := rand.New(rand.NewSource(131))
+	x := buildRandomTimed(t, rng, 50, 800, 4)
+	methods := []Method{FilterRefine, Voronoi, DivideConquer, BruteForce}
+	trials := 24
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		opts := Options{
+			K:           1 + rng.Intn(10),
+			Method:      methods[trial%len(methods)],
+			Semantics:   Semantics(rng.Intn(2)),
+			Parallel:    rng.Intn(2) == 0,
+			NoCrossover: rng.Intn(4) == 0,
+			NoNList:     rng.Intn(4) == 0,
+			NoKernel:    rng.Intn(4) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			opts.TimeFrom = 1 + rng.Int63n(500)
+			opts.TimeTo = opts.TimeFrom + rng.Int63n(500)
+		}
+		batch := make([][]geo.Point, 1+rng.Intn(24))
+		for i := range batch {
+			batch[i] = randQuery(rng, 1+rng.Intn(5))
+		}
+		gotIDs, gotStats, err := BatchRkNNT(x, batch, opts)
+		if err != nil {
+			t.Fatalf("trial %d: batch error: %v", trial, err)
+		}
+		for i, q := range batch {
+			wantIDs, wantStats, err := RkNNT(x, q, opts)
+			if err != nil {
+				t.Fatalf("trial %d query %d: %v", trial, i, err)
+			}
+			if !idsEqual(gotIDs[i], wantIDs) {
+				t.Fatalf("trial %d query %d (%+v): batch %v, sequential %v",
+					trial, i, opts, gotIDs[i], wantIDs)
+			}
+			if gotStats[i].Candidates != wantStats.Candidates {
+				t.Fatalf("trial %d query %d: batch candidates %d, sequential %d",
+					trial, i, gotStats[i].Candidates, wantStats.Candidates)
+			}
+			if gotStats[i].Results != wantStats.Results {
+				t.Fatalf("trial %d query %d: batch results %d, sequential %d",
+					trial, i, gotStats[i].Results, wantStats.Results)
+			}
+			if gotStats[i].ShardsTouched != wantStats.ShardsTouched {
+				t.Fatalf("trial %d query %d: batch shard mask %b, sequential %b",
+					trial, i, gotStats[i].ShardsTouched, wantStats.ShardsTouched)
+			}
+		}
+	}
+}
+
+// TestBatchRkNNTEdgeCases pins the trivial shapes: empty batch,
+// singleton batch, duplicate queries, and an invalid option set.
+func TestBatchRkNNTEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := buildRandom(t, rng, 20, 200)
+	ids, stats, err := BatchRkNNT(x, nil, Options{K: 2})
+	if err != nil || ids != nil || stats != nil {
+		t.Fatalf("empty batch: got %v %v %v", ids, stats, err)
+	}
+	q := randQuery(rng, 3)
+	batch := [][]geo.Point{q, q, q}
+	gotIDs, _, err := BatchRkNNT(x, batch, Options{K: 3, Method: Voronoi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := RkNNT(x, q, Options{K: 3, Method: Voronoi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if !idsEqual(gotIDs[i], want) {
+			t.Fatalf("duplicate query %d: %v want %v", i, gotIDs[i], want)
+		}
+	}
+	if _, _, err := BatchRkNNT(x, [][]geo.Point{q, nil}, Options{K: 2}); err == nil {
+		t.Fatal("empty query in batch: want error")
+	}
+	if _, _, err := BatchRkNNT(x, batch, Options{K: 0}); err == nil {
+		t.Fatal("K=0: want error")
+	}
+}
+
+// TestBatchKNNMatchesKNNRoutes checks the shared-scan kNN against the
+// per-point primitive.
+func TestBatchKNNMatchesKNNRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	x := buildRandom(t, rng, 40, 100)
+	pts := make([]geo.Point, 30)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*60, rng.Float64()*60)
+	}
+	for _, k := range []int{1, 3, 8, 100} {
+		got := BatchKNN(x, pts, k)
+		for i, p := range pts {
+			want := KNNRoutes(x, p, k)
+			if len(got[i]) != len(want) {
+				t.Fatalf("k=%d pt %d: batch %v, single %v", k, i, got[i], want)
+			}
+			for j := range want {
+				if got[i][j] != want[j] {
+					t.Fatalf("k=%d pt %d: batch %v, single %v", k, i, got[i], want)
+				}
+			}
+		}
+	}
+}

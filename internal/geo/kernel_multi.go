@@ -1,0 +1,65 @@
+package geo
+
+// Multi-query batched kernels: score one gathered child block against Q
+// query points in a single call. Batched traversals (core.BatchRkNNT)
+// gather a node's child rectangles from the arena planes once and then
+// score every live query in the frontier against the same block while
+// it is still cache-resident, instead of re-fetching the block once per
+// query.
+//
+// Each per-query row replicates the exact branch structure of the
+// single-query kernels, so row i of the output is bit-identical to a
+// MinDist2Block (resp. Dist2Block) call for qs[i] — the differential
+// fuzz tests in kernel_multi_test.go enforce this, which is what lets
+// BatchRkNNT promise results bit-identical to per-query RkNNT.
+
+// MinDist2MultiBlock writes MinDist2 of query point qs[i] to rectangle
+// (xlo[j], ylo[j], xhi[j], yhi[j]) into out[i*n+j] for the first n
+// rectangles. The four planes must have at least n elements and out at
+// least len(qs)*n. Row i (out[i*n : (i+1)*n]) is bit-identical to
+// MinDist2Block(xlo, ylo, xhi, yhi, qs[i], row).
+func MinDist2MultiBlock(xlo, ylo, xhi, yhi []float64, qs []Point, n int, out []float64) {
+	if n == 0 || len(qs) == 0 {
+		return
+	}
+	xlo, ylo, xhi, yhi = xlo[:n], ylo[:n], xhi[:n], yhi[:n]
+	_ = out[len(qs)*n-1]
+	for qi, q := range qs {
+		row := out[qi*n : qi*n+n]
+		for j := 0; j < n; j++ {
+			dx := 0.0
+			if q.X < xlo[j] {
+				dx = xlo[j] - q.X
+			} else if q.X > xhi[j] {
+				dx = q.X - xhi[j]
+			}
+			dy := 0.0
+			if q.Y < ylo[j] {
+				dy = ylo[j] - q.Y
+			} else if q.Y > yhi[j] {
+				dy = q.Y - yhi[j]
+			}
+			row[j] = dx*dx + dy*dy
+		}
+	}
+}
+
+// Dist2MultiBlock writes the squared point distance from qs[i] to point
+// (xs[j], ys[j]) into out[i*n+j] for the first n points — the
+// leaf-level companion of MinDist2MultiBlock. Row i is bit-identical to
+// Dist2Block(xs, ys, qs[i], row).
+func Dist2MultiBlock(xs, ys []float64, qs []Point, n int, out []float64) {
+	if n == 0 || len(qs) == 0 {
+		return
+	}
+	xs, ys = xs[:n], ys[:n]
+	_ = out[len(qs)*n-1]
+	for qi, q := range qs {
+		row := out[qi*n : qi*n+n]
+		for j := 0; j < n; j++ {
+			dx := xs[j] - q.X
+			dy := ys[j] - q.Y
+			row[j] = dx*dx + dy*dy
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMinDist2MultiBlockDifferential checks each row of the multi-query
+// kernel against a per-query MinDist2Block call (itself fuzz-verified
+// against the scalar Rect.MinDist2 oracle), requiring bit-identical
+// outputs over random blocks salted with special values.
+func TestMinDist2MultiBlockDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 1000; iter++ {
+		n := rng.Intn(36)
+		qn := rng.Intn(12)
+		xlo, ylo := make([]float64, n), make([]float64, n)
+		xhi, yhi := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			xlo[i], ylo[i] = randSpecial(rng), randSpecial(rng)
+			xhi[i], yhi[i] = randSpecial(rng), randSpecial(rng)
+		}
+		qs := make([]Point, qn)
+		for i := range qs {
+			qs[i] = Point{X: randSpecial(rng), Y: randSpecial(rng)}
+		}
+		out := make([]float64, qn*n)
+		MinDist2MultiBlock(xlo, ylo, xhi, yhi, qs, n, out)
+		want := make([]float64, n)
+		for qi, q := range qs {
+			MinDist2Block(xlo, ylo, xhi, yhi, q, want)
+			row := out[qi*n : (qi+1)*n]
+			for j := 0; j < n; j++ {
+				if !identical(row[j], want[j]) {
+					t.Fatalf("iter %d q %d rect %d: multi %v (%x), single %v (%x)",
+						iter, qi, j, row[j], math.Float64bits(row[j]),
+						want[j], math.Float64bits(want[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestDist2MultiBlockDifferential does the same for the leaf-level
+// point-block kernel.
+func TestDist2MultiBlockDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(36)
+		qn := rng.Intn(12)
+		xs, ys := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i], ys[i] = randSpecial(rng), randSpecial(rng)
+		}
+		qs := make([]Point, qn)
+		for i := range qs {
+			qs[i] = Point{X: randSpecial(rng), Y: randSpecial(rng)}
+		}
+		out := make([]float64, qn*n)
+		Dist2MultiBlock(xs, ys, qs, n, out)
+		want := make([]float64, n)
+		for qi, q := range qs {
+			Dist2Block(xs, ys, q, want)
+			row := out[qi*n : (qi+1)*n]
+			for j := 0; j < n; j++ {
+				if !identical(row[j], want[j]) {
+					t.Fatalf("iter %d q %d pt %d: multi %v, single %v", iter, qi, j, row[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// FuzzMinDist2MultiBlock drives a two-query block over one rect against
+// the single-query kernel with arbitrary bit patterns.
+func FuzzMinDist2MultiBlock(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.5, 2.5)
+	f.Add(5.0, 5.0, 3.0, 3.0, 4.0, 4.0) // degenerate: Min > Max
+	f.Add(math.NaN(), 0.0, 1.0, math.NaN(), math.NaN(), 0.0)
+	f.Fuzz(func(t *testing.T, xlo, ylo, xhi, yhi, qx, qy float64) {
+		qs := []Point{{X: qx, Y: qy}, {X: qy, Y: qx}}
+		var out [2]float64
+		MinDist2MultiBlock([]float64{xlo}, []float64{ylo}, []float64{xhi}, []float64{yhi}, qs, 1, out[:])
+		var want [1]float64
+		for qi, q := range qs {
+			MinDist2Block([]float64{xlo}, []float64{ylo}, []float64{xhi}, []float64{yhi}, q, want[:])
+			if !identical(out[qi], want[0]) {
+				t.Fatalf("q %d: multi %v (%x), single %v (%x)",
+					qi, out[qi], math.Float64bits(out[qi]), want[0], math.Float64bits(want[0]))
+			}
+		}
+	})
+}

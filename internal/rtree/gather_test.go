@@ -1,0 +1,42 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestGatherEntryPoints checks the leaf gather against Entries on every
+// leaf of a randomly built tree.
+func TestGatherEntryPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Insert(Entry{
+			Pt: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			ID: int32(i), Aux: int32(i % 7),
+		})
+	}
+	var xs, ys [BlockSlots]float64
+	var walk func(n NodeID)
+	walk = func(n NodeID) {
+		if !tr.IsLeaf(n) {
+			for _, c := range tr.Children(n) {
+				walk(c)
+			}
+			return
+		}
+		cnt := tr.GatherEntryPoints(n, xs[:], ys[:])
+		ents := tr.Entries(n)
+		if cnt != len(ents) {
+			t.Fatalf("node %d: gathered %d points, %d entries", n, cnt, len(ents))
+		}
+		for i, e := range ents {
+			if xs[i] != e.Pt.X || ys[i] != e.Pt.Y {
+				t.Fatalf("node %d slot %d: gathered (%v,%v), entry %v", n, i, xs[i], ys[i], e.Pt)
+			}
+		}
+	}
+	walk(tr.Root())
+}

@@ -187,6 +187,19 @@ func (t *Tree) GatherChildRects(n NodeID, xlo, ylo, xhi, yhi []float64) int {
 	return len(kids)
 }
 
+// GatherEntryPoints copies the point coordinates of a leaf node's
+// entries into xs/ys (each must have capacity for at least BlockSlots
+// values) and returns the entry count — the leaf-level companion of
+// GatherChildRects, producing a planar block ready for geo.Dist2Block
+// or geo.Dist2MultiBlock.
+func (t *Tree) GatherEntryPoints(n NodeID, xs, ys []float64) int {
+	ents := t.Entries(n)
+	for i, e := range ents {
+		xs[i], ys[i] = e.Pt.X, e.Pt.Y
+	}
+	return len(ents)
+}
+
 // alloc returns a fresh node, recycling the free list when possible. The
 // node starts empty with an empty rect and no parent.
 func (t *Tree) alloc(leaf bool) NodeID {

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/model"
+)
+
+// RkNNTBatch answers a batch of RkNNT queries sharing one option set
+// against a single snapshot. Each query is served exactly as RkNNT
+// would serve it — cache probe, journal repair of stale hits,
+// intra-batch dedup of identical queries — but every cache miss in the
+// batch executes together through core.BatchRkNNT, which traverses
+// each TR-tree shard once for the whole group and verifies candidates
+// through the multi-query block kernels. results[i] answers queries[i].
+//
+// The batch executes under one read-lock acquisition, so every miss is
+// answered at the same epoch vector. An execution error (invalid
+// options, an empty query) fails the whole batch: the option set is
+// shared, so option errors would fail every query anyway, and a
+// malformed member is a caller bug the partial results would mask.
+func (e *Engine) RkNNTBatch(queries [][]geo.Point, opts core.Options) ([]*QueryResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	opts.Parallel = true
+	opts.Tuner = e.tuner
+	opts.Trace = nil // the batch path runs untraced
+	t0 := time.Now()
+	e.mx.batchRequests.Inc()
+	e.mx.batchQueries.Add(uint64(len(queries)))
+	e.mx.batchSize.Record(uint64(len(queries)))
+
+	out := make([]*QueryResult, len(queries))
+	keys := make([]string, len(queries))
+	missOf := make(map[string]int, len(queries))
+	var execIdx []int
+	for i, q := range queries {
+		key := queryKey(q, opts)
+		keys[i] = key
+		if _, dup := missOf[key]; dup {
+			continue // intra-batch duplicate of a pending miss
+		}
+		if v, ok := e.cache.Get(key); ok {
+			ent := v.(*cachedQuery)
+			if e.vecIsCurrent(ent.res.Epochs) {
+				res := ent.res
+				out[i] = &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Cached: true, Epoch: res.Epoch, Epochs: res.Epochs}
+				continue
+			}
+			if res := e.tryRepair(key, ent); res != nil {
+				out[i] = res
+				continue
+			}
+		}
+		missOf[key] = i
+		execIdx = append(execIdx, i)
+	}
+	if len(execIdx) > 0 {
+		if err := e.executeBatch(keys, queries, execIdx, opts, out); err != nil {
+			return nil, err
+		}
+	}
+	// Intra-batch duplicates adopt the first occurrence's freshly
+	// executed result, the same sharing the flight group gives identical
+	// concurrent singletons.
+	for i := range queries {
+		if out[i] != nil {
+			continue
+		}
+		res := out[missOf[keys[i]]]
+		out[i] = &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Shared: true, Epoch: res.Epoch, Epochs: res.Epochs}
+		e.mx.dedupHits.Inc()
+	}
+	e.mx.batchLatency.RecordDuration(time.Since(t0))
+	return out, nil
+}
+
+// executeBatch runs the cache-missing subset of a batch (execIdx into
+// queries/keys) through core.BatchRkNNT under one read-lock hold,
+// caches each result and writes it to out. Callers have already probed
+// the cache for every execIdx member and deduplicated identical keys.
+func (e *Engine) executeBatch(keys []string, queries [][]geo.Point, execIdx []int, opts core.Options, out []*QueryResult) error {
+	execQs := make([][]geo.Point, len(execIdx))
+	for i, qi := range execIdx {
+		execQs[i] = queries[qi]
+	}
+	t0 := time.Now()
+	idsAll, statsAll, vec, err := func() ([][]model.TransitionID, []*core.Stats, EpochVec, error) {
+		e.rlockAll()
+		defer e.runlockAll()
+		ids, stats, err := core.BatchRkNNT(e.idx, execQs, opts)
+		// Exact under the read locks: no commit is in flight.
+		return ids, stats, e.epochVecQuiescent(), err
+	}()
+	if err != nil {
+		return err
+	}
+	for i, qi := range execIdx {
+		stats := statsAll[i]
+		e.mx.addQueryTotals(stats)
+		e.repairTune.ObserveRecompute(stats.Total())
+		// The batch's results share one (immutable) epoch vector.
+		res := &QueryResult{Transitions: idsAll[i], Stats: *stats, Epoch: vec.Sum(), Epochs: vec}
+		e.cache.Put(keys[qi], &cachedQuery{
+			res:     res,
+			query:   append([]geo.Point(nil), queries[qi]...),
+			opts:    opts,
+			touched: stats.ShardsTouched,
+		})
+		out[qi] = res
+	}
+	e.mx.batchExecuted.Add(uint64(len(execIdx)))
+	// Feed the coalescer's window model the marginal per-query cost of
+	// batched execution.
+	e.coal.observeExec(time.Since(t0), len(execIdx))
+	return nil
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// TestRkNNTBatchMatchesSingle is the serve-layer batch property: for
+// random batches and option sets, every answer from RkNNTBatch must be
+// identical to a fresh core computation over an independent copy of the
+// dataset, and a repeated batch must serve entirely from the cache.
+func TestRkNNTBatchMatchesSingle(t *testing.T) {
+	city, x := testCity(t)
+	e := New(x, Options{})
+	defer e.Close()
+	x2, err := index.Build(city.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	methods := []core.Method{core.FilterRefine, core.Voronoi, core.DivideConquer, core.BruteForce}
+	for trial := 0; trial < 6; trial++ {
+		opts := core.Options{
+			K:         1 + rng.Intn(8),
+			Method:    methods[trial%len(methods)],
+			Semantics: core.Semantics(rng.Intn(2)),
+		}
+		queries := make([][]geo.Point, 3+rng.Intn(10))
+		for i := range queries {
+			if i > 0 && rng.Intn(4) == 0 {
+				queries[i] = queries[rng.Intn(i)] // intra-batch duplicate
+			} else {
+				queries[i] = city.Query(rng, 2+rng.Intn(3), 3)
+			}
+		}
+		results, err := e.RkNNTBatch(queries, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, q := range queries {
+			want, _, err := core.RkNNT(x2, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(results[i].Transitions, want) && !(len(results[i].Transitions) == 0 && len(want) == 0) {
+				t.Fatalf("trial %d query %d: batch %v, core %v", trial, i, results[i].Transitions, want)
+			}
+		}
+		// The same batch again is answered entirely by the cache.
+		again, err := e.RkNNTBatch(queries, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range again {
+			if !again[i].Cached {
+				t.Fatalf("trial %d query %d: repeat batch not served from cache", trial, i)
+			}
+		}
+	}
+	if s := e.EngineStats(); s.BatchRequests == 0 || s.BatchQueries == 0 || s.BatchExecuted == 0 {
+		t.Fatalf("batch counters did not advance: %+v", s)
+	}
+}
+
+// TestRkNNTBatchEdges pins the trivial shapes.
+func TestRkNNTBatchEdges(t *testing.T) {
+	x := twoRoutes(t, model.Transition{ID: 7, O: geo.Pt(1, 1), D: geo.Pt(9, 1)})
+	e := New(x, Options{})
+	defer e.Close()
+	if res, err := e.RkNNTBatch(nil, core.Options{K: 1}); res != nil || err != nil {
+		t.Fatalf("empty batch: got %v, %v", res, err)
+	}
+	res, err := e.RkNNTBatch([][]geo.Point{queryY0, queryY0, queryY0}, core.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if len(r.Transitions) != 1 || r.Transitions[0] != 7 {
+			t.Fatalf("query %d: %v", i, r.Transitions)
+		}
+	}
+	if !res[1].Shared || !res[2].Shared {
+		t.Fatalf("intra-batch duplicates not shared: %+v %+v", res[1], res[2])
+	}
+	if _, err := e.RkNNTBatch([][]geo.Point{queryY0}, core.Options{K: 0}); err == nil {
+		t.Fatal("K=0: want error")
+	}
+}
+
+// TestShardedCacheChurnMatchesOracle drives the default sharded-cache
+// engine and a recompute-everything oracle (single-mutex legacy cache,
+// PurgeOnWrite) through identical write churn, comparing every query's
+// answer — so cache sharding must preserve the journal-replay repair
+// semantics exactly. Concurrent background queriers hammer the sharded
+// engine throughout to expose cross-shard races under -race.
+func TestShardedCacheChurnMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	build := func() *index.Index {
+		r2 := rand.New(rand.NewSource(55))
+		ds := &model.Dataset{}
+		stopPts := make([]geo.Point, 30)
+		for i := range stopPts {
+			stopPts[i] = geo.Pt(r2.Float64()*40, r2.Float64()*40)
+		}
+		for r := 0; r < 20; r++ {
+			n := 2 + r2.Intn(4)
+			route := model.Route{ID: int32(r + 1)}
+			for i := 0; i < n; i++ {
+				s := int32(r2.Intn(30))
+				route.Stops = append(route.Stops, s)
+				route.Pts = append(route.Pts, stopPts[s])
+			}
+			ds.Routes = append(ds.Routes, route)
+		}
+		x, err := index.BuildOpts(ds, index.Options{TRShards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	main := New(build(), Options{CacheSize: 64, CacheShards: 8})
+	defer main.Close()
+	oracle := New(build(), Options{CacheSize: 64, CacheShards: 1, PurgeOnWrite: true})
+	defer oracle.Close()
+	if _, ok := main.cache.(*shardedCache); !ok {
+		t.Fatalf("main engine cache is %T, want *shardedCache", main.cache)
+	}
+	if _, ok := oracle.cache.(*lruCache); !ok {
+		t.Fatalf("oracle engine cache is %T, want *lruCache", oracle.cache)
+	}
+
+	queries := make([][]geo.Point, 8)
+	for i := range queries {
+		queries[i] = []geo.Point{
+			geo.Pt(rng.Float64()*40, rng.Float64()*40),
+			geo.Pt(rng.Float64()*40, rng.Float64()*40),
+		}
+	}
+	optsSet := []core.Options{
+		{K: 3},
+		{K: 5, Semantics: core.ForAll},
+		{K: 2, Method: core.Voronoi},
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := main.RkNNT(queries[r.Intn(len(queries))], optsSet[r.Intn(len(optsSet))]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g) + 1000)
+	}
+
+	live := []model.TransitionID{}
+	nextID := model.TransitionID(1)
+	for step := 0; step < 200; step++ {
+		if rng.Intn(10) < 7 || len(live) == 0 {
+			tr := model.Transition{
+				ID: nextID,
+				O:  geo.Pt(rng.Float64()*40, rng.Float64()*40),
+				D:  geo.Pt(rng.Float64()*40, rng.Float64()*40),
+			}
+			nextID++
+			if err := main.AddTransition(tr); err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.AddTransition(tr); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, tr.ID)
+		} else {
+			i := rng.Intn(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if _, err := main.RemoveTransition(id); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := oracle.RemoveTransition(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := queries[rng.Intn(len(queries))]
+		opts := optsSet[rng.Intn(len(optsSet))]
+		got, err := main.RkNNT(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.RkNNT(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Transitions, want.Transitions) &&
+			!(len(got.Transitions) == 0 && len(want.Transitions) == 0) {
+			t.Fatalf("step %d: sharded %v, oracle %v", step, got.Transitions, want.Transitions)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s := main.EngineStats(); len(s.CacheShardEntries) != 8 {
+		t.Fatalf("CacheShardEntries: got %d shards, want 8", len(s.CacheShardEntries))
+	} else {
+		sum := 0
+		for _, n := range s.CacheShardEntries {
+			sum += n
+		}
+		if sum != s.CacheEntries {
+			t.Fatalf("shard entry counts sum to %d, CacheEntries %d", sum, s.CacheEntries)
+		}
+	}
+}
+
+// TestCoalescedMatchesSingle checks the coalescer end to end: with a
+// forced wide window, concurrent cache-missing singletons merge into
+// micro-batches whose answers must match fresh core computations.
+func TestCoalescedMatchesSingle(t *testing.T) {
+	city, x := testCity(t)
+	e := New(x, Options{Coalesce: true, CoalesceMaxBatch: 8})
+	defer e.Close()
+	x2, err := index.Build(city.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the window model so the gather window clamps to its maximum:
+	// concurrent enqueues below reliably land in one group.
+	ewmaStore(&e.coal.perQuery, 1.0)
+
+	rng := rand.New(rand.NewSource(59))
+	opts := core.Options{K: 5, Method: core.DivideConquer}
+	queries := make([][]geo.Point, 24)
+	for i := range queries {
+		queries[i] = city.Query(rng, 3, 3)
+	}
+	results := make([]*QueryResult, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.RkNNT(queries[i], opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, q := range queries {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		want, _, err := core.RkNNT(x2, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i].Transitions, want) && !(len(results[i].Transitions) == 0 && len(want) == 0) {
+			t.Fatalf("query %d: coalesced %v, core %v", i, results[i].Transitions, want)
+		}
+	}
+	s := e.EngineStats()
+	if s.BatchCoalesced == 0 {
+		t.Fatal("no queries were coalesced despite a maximum gather window")
+	}
+	if s.CoalesceWindowMicros <= 0 {
+		t.Fatalf("CoalesceWindowMicros = %v", s.CoalesceWindowMicros)
+	}
+	// Coalesced answers enter the ordinary result cache.
+	res, err := e.RkNNT(queries[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("coalesced result did not populate the cache")
+	}
+}
+
+// TestCoalesceErrorBypass checks empty queries bypass the coalescer
+// (their validation error must not poison a group) while valid
+// singletons still answer correctly through it.
+func TestCoalesceErrorBypass(t *testing.T) {
+	x := twoRoutes(t, model.Transition{ID: 7, O: geo.Pt(1, 1), D: geo.Pt(9, 1)})
+	e := New(x, Options{Coalesce: true})
+	defer e.Close()
+	if _, err := e.RkNNT(nil, core.Options{K: 1}); err == nil {
+		t.Fatal("empty query: want error")
+	}
+	res, err := e.RkNNT(queryY0, core.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Transitions) != 1 || res.Transitions[0] != 7 {
+		t.Fatalf("coalesced singleton: %v", res.Transitions)
+	}
+}
+
+// TestKeyBuilderAllocs pins the hot-path key builders to one allocation
+// each (the returned string) — the regression the pooled builders fixed:
+// flight keys used to cost four allocations and planner keys went
+// through fmt.Sprintf.
+func TestKeyBuilderAllocs(t *testing.T) {
+	x := twoRoutes(t)
+	e := New(x, Options{})
+	defer e.Close()
+	opts := core.Options{K: 3}
+	key := queryKey(queryY0, opts)
+	if n := testing.AllocsPerRun(100, func() { _ = queryKey(queryY0, opts) }); n > 1 {
+		t.Errorf("queryKey: %v allocs/op, want <= 1", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = e.flightKey(key) }); n > 1 {
+		t.Errorf("flightKey: %v allocs/op, want <= 1", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = e.planFlightKey(8, core.DivideConquer) }); n > 1 {
+		t.Errorf("planFlightKey: %v allocs/op, want <= 1", n)
+	}
+	// The pooled builders must still agree with the wire format the old
+	// builders produced.
+	if want := string(e.epochVec().appendBytes(nil)) + key; e.flightKey(key) != want {
+		t.Error("flightKey diverges from EpochVec.appendBytes format")
+	}
+	if want := fmt.Sprintf("plan/%d/%d/", 8, core.DivideConquer) + string(e.epochVec().appendBytes(nil)); e.planFlightKey(8, core.DivideConquer) != want {
+		t.Error("planFlightKey diverges from the fmt.Sprintf format")
+	}
+}
+
+func BenchmarkFlightKey(b *testing.B) {
+	x := twoRoutes(b)
+	e := New(x, Options{})
+	defer e.Close()
+	key := queryKey(queryY0, core.Options{K: 3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.flightKey(key)
+	}
+}
+
+func BenchmarkQueryKey(b *testing.B) {
+	q := make([]geo.Point, 5)
+	opts := core.Options{K: 8, TimeFrom: 1, TimeTo: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = queryKey(q, opts)
+	}
+}

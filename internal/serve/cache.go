@@ -122,6 +122,9 @@ func (c *lruCache) Len() int {
 	return c.ll.Len()
 }
 
+// ShardLens satisfies resultCache: the unsharded cache is one shard.
+func (c *lruCache) ShardLens() []int { return []int{c.Len()} }
+
 // Counters returns the cumulative hit and miss counts.
 func (c *lruCache) Counters() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()

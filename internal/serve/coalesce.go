@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// Adaptive micro-batch coalescing. Independent singleton RkNNT calls
+// arriving close together cannot share TR-tree traversals on their own:
+// each walks every shard alone. When Options.Coalesce is on, a cache-
+// missing singleton instead parks in a per-option-set group for a short
+// window; whoever the window gathers executes as ONE core.BatchRkNNT
+// over a single snapshot, so n concurrent queries pay one frontier
+// descent per shard instead of n.
+//
+// The window is not fixed: it tracks half the measured marginal cost of
+// one batched query (EWMA, same smoothing as the repair tuner), clamped
+// to [coalesceWindowMin, coalesceWindowMax]. Cheap workloads wait tens
+// of microseconds; expensive ones wait longer because a merge saves
+// more. A group that reaches maxBatch executes immediately without
+// waiting out its window, in the arriving caller's goroutine.
+const (
+	coalesceWindowDefault = 200 * time.Microsecond
+	coalesceWindowMin     = 20 * time.Microsecond
+	coalesceWindowMax     = 2 * time.Millisecond
+)
+
+type coalescer struct {
+	e        *Engine
+	maxBatch int
+
+	// perQuery is the EWMA'd marginal wall-clock cost of one query
+	// executed through the batch path, float64 seconds bits.
+	perQuery atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[string]*coalesceGroup // by options-key prefix
+}
+
+// coalesceGroup is one forming micro-batch: queries that share an
+// option set (the optsKeyLen-byte cache-key prefix) and arrived within
+// one window. fired flips exactly once, under the coalescer mutex, when
+// either the timer or a batch-filling arrival claims the group; after
+// that the group is unlinked and its slices are immutable.
+type coalesceGroup struct {
+	optsKey string
+	opts    core.Options
+	keys    []string
+	queries [][]geo.Point
+	chans   []chan coalesceDone
+	timer   *time.Timer
+	fired   bool
+}
+
+type coalesceDone struct {
+	res *QueryResult
+	err error
+}
+
+func newCoalescer(e *Engine, maxBatch int) *coalescer {
+	return &coalescer{e: e, maxBatch: maxBatch, pending: make(map[string]*coalesceGroup)}
+}
+
+// window returns the current gather window: half the per-query batched
+// cost, so the worst-case added latency stays below what the merge is
+// expected to save.
+func (c *coalescer) window() time.Duration {
+	if pq := math.Float64frombits(c.perQuery.Load()); pq > 0 {
+		w := time.Duration(pq / 2 * float64(time.Second))
+		if w < coalesceWindowMin {
+			return coalesceWindowMin
+		}
+		if w > coalesceWindowMax {
+			return coalesceWindowMax
+		}
+		return w
+	}
+	return coalesceWindowDefault
+}
+
+// observeExec folds one batch execution into the per-query cost model.
+func (c *coalescer) observeExec(elapsed time.Duration, n int) {
+	if n <= 0 || elapsed <= 0 {
+		return
+	}
+	ewmaStore(&c.perQuery, elapsed.Seconds()/float64(n))
+}
+
+// enqueue parks one cache-missing query in its option-set group and
+// blocks until the group executes. The caller has already probed the
+// cache; key is its queryKey (whose optsKeyLen-byte prefix names the
+// group).
+func (c *coalescer) enqueue(key string, query []geo.Point, opts core.Options) (*QueryResult, error) {
+	done := make(chan coalesceDone, 1)
+	optsKey := key[:optsKeyLen]
+	c.mu.Lock()
+	g, ok := c.pending[optsKey]
+	if !ok {
+		g = &coalesceGroup{optsKey: optsKey, opts: opts}
+		g.timer = time.AfterFunc(c.window(), func() { c.flush(g) })
+		c.pending[optsKey] = g
+	}
+	g.keys = append(g.keys, key)
+	g.queries = append(g.queries, query)
+	g.chans = append(g.chans, done)
+	full := len(g.queries) >= c.maxBatch
+	if full {
+		g.fired = true
+		delete(c.pending, optsKey)
+	}
+	c.mu.Unlock()
+	if full {
+		g.timer.Stop()
+		c.run(g)
+	}
+	d := <-done
+	return d.res, d.err
+}
+
+// flush is the window timer's path: claim the group unless a filling
+// arrival already did.
+func (c *coalescer) flush(g *coalesceGroup) {
+	c.mu.Lock()
+	if g.fired {
+		c.mu.Unlock()
+		return
+	}
+	g.fired = true
+	delete(c.pending, g.optsKey)
+	c.mu.Unlock()
+	c.run(g)
+}
+
+// run executes a claimed group through the engine's batch core and
+// distributes per-query results. Members already missed the cache, so
+// only intra-group duplicates are deduplicated here; an execution error
+// fails every member (the option set is shared, see RkNNTBatch).
+func (c *coalescer) run(g *coalesceGroup) {
+	if len(g.queries) > 1 {
+		c.e.mx.batchCoalesced.Add(uint64(len(g.queries)))
+	}
+	out := make([]*QueryResult, len(g.queries))
+	missOf := make(map[string]int, len(g.queries))
+	var execIdx []int
+	for i, k := range g.keys {
+		if _, dup := missOf[k]; dup {
+			continue
+		}
+		missOf[k] = i
+		execIdx = append(execIdx, i)
+	}
+	err := c.e.executeBatch(g.keys, g.queries, execIdx, g.opts, out)
+	if err == nil {
+		for i := range out {
+			if out[i] != nil {
+				continue
+			}
+			res := out[missOf[g.keys[i]]]
+			out[i] = &QueryResult{Transitions: res.Transitions, Stats: res.Stats, Shared: true, Epoch: res.Epoch, Epochs: res.Epochs}
+			c.e.mx.dedupHits.Inc()
+		}
+	}
+	for i, ch := range g.chans {
+		if err != nil {
+			ch <- coalesceDone{err: err}
+		} else {
+			ch <- coalesceDone{res: out[i]}
+		}
+	}
+}

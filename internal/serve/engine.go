@@ -1,9 +1,7 @@
 package serve
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +19,22 @@ import (
 type Options struct {
 	// CacheSize is the query-result LRU capacity (entries). Default 1024.
 	CacheSize int
+	// CacheShards is how many independently locked ways the result cache
+	// is split into (rounded up to a power of two; capacity divides
+	// evenly among them). 1 selects the legacy single-mutex LRU — the
+	// differential-test oracle. Default 8.
+	CacheShards int
+	// Coalesce enables the adaptive micro-batch coalescer: singleton
+	// RkNNT calls that miss the cache wait up to a small, measured-cost-
+	// derived window for identically-optioned queries to arrive, then
+	// execute together through BatchRkNNT's block-shared traversal.
+	// Default off: coalescing trades a bounded latency floor for
+	// throughput, which only pays under concurrent load.
+	Coalesce bool
+	// CoalesceMaxBatch caps how many queries one coalesced group may
+	// gather before it executes without waiting out its window.
+	// Default 64.
+	CoalesceMaxBatch int
 	// MaxBatch caps how many queued writes one batch may coalesce.
 	// Default 256.
 	MaxBatch int
@@ -67,6 +81,12 @@ func (o *Options) fill() {
 	if o.CacheSize <= 0 {
 		o.CacheSize = 1024
 	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = defaultCacheShards
+	}
+	if o.CoalesceMaxBatch <= 0 {
+		o.CoalesceMaxBatch = 64
+	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 256
 	}
@@ -106,9 +126,10 @@ type Engine struct {
 	epochStruct atomic.Uint64
 	epochShard  []atomic.Uint64
 
-	cache    *lruCache
+	cache    resultCache
 	journals []shardJournal
 	flight   flightGroup
+	coal     *coalescer
 
 	// Adaptive cost models: tuner places the refine parallel cut-over
 	// inside core from measured verify costs; repairTune sets the lazy
@@ -170,7 +191,14 @@ func New(idx *index.Index, opts Options) *Engine {
 	}
 	e.barrier = &shardPipeline{e: e, shard: -1, ch: make(chan writeOp, opts.QueueDepth)}
 	e.mx = newEngineMetrics(e, shards)
-	e.cache = newLRUCache(opts.CacheSize, e.mx.cacheHits, e.mx.cacheMisses)
+	if opts.CacheShards == 1 {
+		e.cache = newLRUCache(opts.CacheSize, e.mx.cacheHits, e.mx.cacheMisses)
+	} else {
+		e.cache = newShardedCache(opts.CacheSize, opts.CacheShards, e.mx.cacheHits, e.mx.cacheMisses)
+	}
+	// The coalescer always exists (its window gauge must be readable);
+	// only query routing consults opts.Coalesce.
+	e.coal = newCoalescer(e, opts.CoalesceMaxBatch)
 	idx.SetObserver(e.mx.observer())
 	e.mon.SetMetrics(e.mx.mon)
 	for s := range e.pipes {
@@ -278,6 +306,21 @@ func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, erro
 		}
 		opts.Trace.Event("cache_stale", int64(ent.res.Epoch))
 	}
+	// Micro-batch coalescing: a cache-missing singleton waits out a
+	// short, measured-cost-derived window for identically-optioned
+	// queries, then executes with them through BatchRkNNT's shared
+	// traversal. Traced queries bypass — the batch path runs untraced —
+	// as do empty queries, whose validation error must not fail a whole
+	// group. Coalesced misses also skip the per-query flight dedup and
+	// slow-log sampling; the group's intra-batch dedup covers stampedes.
+	if e.opts.Coalesce && opts.Trace == nil && len(query) > 0 {
+		res, err := e.coal.enqueue(key, query, opts)
+		if err != nil {
+			return nil, err
+		}
+		e.mx.queryLatency.RecordDuration(time.Since(t0))
+		return res, nil
+	}
 	// Slow-query sampling: when no caller trace is attached, record one
 	// speculatively from request arrival; it is kept only if the query
 	// turns out slow.
@@ -287,8 +330,7 @@ func (e *Engine) RkNNT(query []geo.Point, opts core.Options) (*QueryResult, erro
 	}
 	// The flight key carries the (fuzzy) epoch vector so a query never
 	// adopts a result computed over an older snapshot than it observed.
-	flightKey := string(e.epochVec().appendBytes(nil)) + key
-	v, err, shared := e.flight.Do(flightKey, func() (any, error) {
+	v, err, shared := e.flight.Do(e.flightKey(key), func() (any, error) {
 		ids, stats, vec, err := func() ([]model.TransitionID, *core.Stats, EpochVec, error) {
 			// deferred so a panicking query cannot leave the engine
 			// read-locked (which would wedge the write path for good).
@@ -541,12 +583,25 @@ type Stats struct {
 	WriteQueueDepths  []int `json:"write_queue_depths"`
 	BarrierQueueDepth int   `json:"barrier_queue_depth"`
 
-	CacheEntries int    `json:"cache_entries"`
-	CacheHits    uint64 `json:"cache_hits"`
-	CacheMisses  uint64 `json:"cache_misses"`
-	CacheRepairs uint64 `json:"cache_repairs"` // stale hits repaired forward by journal replay
-	CachePurges  uint64 `json:"cache_purges"`
-	InflightDups uint64 `json:"inflight_dups"`
+	CacheEntries int `json:"cache_entries"`
+	// CacheShardEntries[s] is shard s's live entry count (one element
+	// when the legacy unsharded cache is selected).
+	CacheShardEntries []int  `json:"cache_shard_entries"`
+	CacheHits         uint64 `json:"cache_hits"`
+	CacheMisses       uint64 `json:"cache_misses"`
+	CacheRepairs      uint64 `json:"cache_repairs"` // stale hits repaired forward by journal replay
+	CachePurges       uint64 `json:"cache_purges"`
+	InflightDups      uint64 `json:"inflight_dups"`
+
+	// Batched query execution: request/query/executed/coalesced counts,
+	// the per-request latency summary, and the coalescer's current
+	// adaptive gather window.
+	BatchRequests        uint64          `json:"batch_requests"`
+	BatchQueries         uint64          `json:"batch_queries"`
+	BatchExecuted        uint64          `json:"batch_executed"`
+	BatchCoalesced       uint64          `json:"batch_coalesced"`
+	BatchLatency         obs.SummaryData `json:"batch_latency_micros"`
+	CoalesceWindowMicros float64         `json:"coalesce_window_micros"`
 
 	Batches       uint64 `json:"batches"`
 	BatchedOps    uint64 `json:"batched_ops"`
@@ -628,45 +683,52 @@ func (e *Engine) EngineStats() Stats {
 	filterSum := m.filterLatency.Snapshot()
 	verifySum := m.verifyLatency.Snapshot()
 	return Stats{
-		Epoch:             vec.Sum(),
-		EpochVector:       vec,
-		Routes:            routes,
-		Transitions:       transitions,
-		Shards:            shards,
-		ShardSizes:        shardSizes,
-		WriteQueueDepths:  queueDepths,
-		BarrierQueueDepth: len(e.barrier.ch),
-		CacheEntries:      e.cache.Len(),
-		CacheHits:         m.cacheHits.Load(),
-		CacheMisses:       m.cacheMisses.Load(),
-		CacheRepairs:      m.cacheRepairs.Load(),
-		CachePurges:       m.cachePurges.Load(),
-		InflightDups:      m.dedupHits.Load(),
-		Batches:           m.batches.Load(),
-		BatchedOps:        m.batchedOps.Load(),
-		QueriesRun:        m.queriesRun.Load(),
-		Standing:          e.standing.Load(),
-		DroppedEvents:     m.dropped.Load(),
-		SlowQueries:       e.slow.Total(),
-		FilterMicros:      int64(filterSum.Sum / 1000),
-		VerifyMicros:      int64(verifySum.Sum / 1000),
-		FilterPoints:      int(m.filterPoints.Load()),
-		FilterRoutes:      int(m.filterRoutes.Load()),
-		RefineNodes:       int(m.refineNodes.Load()),
-		Candidates:        int(m.candidates.Load()),
-		Results:           int(m.results.Load()),
-		QueryLatency:      obs.Summarize(m.queryLatency, micros),
-		FilterLatency:     obs.Summarize(m.filterLatency, micros),
-		VerifyLatency:     obs.Summarize(m.verifyLatency, micros),
-		QueueWait:         obs.Summarize(m.queueWait, micros),
-		Commit:            obs.Summarize(m.commit, micros),
-		ShardCommits:      shardCommits,
-		BarrierCommit:     obs.Summarize(m.barrierCommit, micros),
-		ShardWrites:       shardWrites,
-		ExpirySweep:       obs.Summarize(m.expirySweep, micros),
-		Expired:           m.expirySwept.Load(),
-		SnapshotSave:      obs.Summarize(m.snapshotSave, micros),
-		SnapshotLoad:      obs.Summarize(m.snapshotLoad, micros),
+		Epoch:                vec.Sum(),
+		EpochVector:          vec,
+		Routes:               routes,
+		Transitions:          transitions,
+		Shards:               shards,
+		ShardSizes:           shardSizes,
+		WriteQueueDepths:     queueDepths,
+		BarrierQueueDepth:    len(e.barrier.ch),
+		CacheEntries:         e.cache.Len(),
+		CacheShardEntries:    e.cache.ShardLens(),
+		CacheHits:            m.cacheHits.Load(),
+		CacheMisses:          m.cacheMisses.Load(),
+		CacheRepairs:         m.cacheRepairs.Load(),
+		CachePurges:          m.cachePurges.Load(),
+		InflightDups:         m.dedupHits.Load(),
+		BatchRequests:        m.batchRequests.Load(),
+		BatchQueries:         m.batchQueries.Load(),
+		BatchExecuted:        m.batchExecuted.Load(),
+		BatchCoalesced:       m.batchCoalesced.Load(),
+		BatchLatency:         obs.Summarize(m.batchLatency, micros),
+		CoalesceWindowMicros: e.coal.window().Seconds() * 1e6,
+		Batches:              m.batches.Load(),
+		BatchedOps:           m.batchedOps.Load(),
+		QueriesRun:           m.queriesRun.Load(),
+		Standing:             e.standing.Load(),
+		DroppedEvents:        m.dropped.Load(),
+		SlowQueries:          e.slow.Total(),
+		FilterMicros:         int64(filterSum.Sum / 1000),
+		VerifyMicros:         int64(verifySum.Sum / 1000),
+		FilterPoints:         int(m.filterPoints.Load()),
+		FilterRoutes:         int(m.filterRoutes.Load()),
+		RefineNodes:          int(m.refineNodes.Load()),
+		Candidates:           int(m.candidates.Load()),
+		Results:              int(m.results.Load()),
+		QueryLatency:         obs.Summarize(m.queryLatency, micros),
+		FilterLatency:        obs.Summarize(m.filterLatency, micros),
+		VerifyLatency:        obs.Summarize(m.verifyLatency, micros),
+		QueueWait:            obs.Summarize(m.queueWait, micros),
+		Commit:               obs.Summarize(m.commit, micros),
+		ShardCommits:         shardCommits,
+		BarrierCommit:        obs.Summarize(m.barrierCommit, micros),
+		ShardWrites:          shardWrites,
+		ExpirySweep:          obs.Summarize(m.expirySweep, micros),
+		Expired:              m.expirySwept.Load(),
+		SnapshotSave:         obs.Summarize(m.snapshotSave, micros),
+		SnapshotLoad:         obs.Summarize(m.snapshotLoad, micros),
 		Monitor: MonitorStats{
 			Adds:          m.mon.StandingAdds.Load(),
 			Removes:       m.mon.StandingRemoves.Load(),
@@ -676,32 +738,4 @@ func (e *Engine) EngineStats() Stats {
 			Recomputes:    m.mon.Recomputes.Load(),
 		},
 	}
-}
-
-// queryKey builds the cache key: options and the exact query geometry
-// (float bits, so distinct queries never collide). The epoch vector is
-// NOT part of the key — entries carry their vector and are repaired
-// forward from the shard journals — but it is prepended for the
-// in-flight dedup key. Parallel is excluded: it cannot change the
-// result.
-func queryKey(query []geo.Point, opts core.Options) string {
-	buf := make([]byte, 0, 8+8*2+16*len(query)+8)
-	var flags uint64
-	flags |= uint64(opts.Method) << 0
-	flags |= uint64(opts.Semantics) << 8
-	if opts.NoCrossover {
-		flags |= 1 << 16
-	}
-	if opts.NoNList {
-		flags |= 1 << 17
-	}
-	flags |= uint64(uint32(opts.K)) << 32
-	buf = binary.LittleEndian.AppendUint64(buf, flags)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(opts.TimeFrom))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(opts.TimeTo))
-	for _, p := range query {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
-	}
-	return string(buf)
 }

@@ -116,6 +116,20 @@ func (e *Engine) epochVec() EpochVec {
 // the snapshot is exact.
 func (e *Engine) epochVecQuiescent() EpochVec { return e.epochVec() }
 
+// appendEpochBytes serialises the live vector straight from the atomics
+// in appendBytes' exact format, skipping the EpochVec materialisation.
+// Hot-path key builders (keys.go) use it so a flight key costs one
+// allocation instead of four. Same fuzziness as epochVec: counters are
+// individually exact, the vector may be torn across concurrent commits.
+func (e *Engine) appendEpochBytes(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, e.epochStruct.Load())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.epochShard)))
+	for s := range e.epochShard {
+		buf = binary.LittleEndian.AppendUint64(buf, e.epochShard[s].Load())
+	}
+	return buf
+}
+
 // vecIsCurrent reports whether v matches the live counters. Lock-free:
 // a concurrent commit may flip the answer, which is the same benign
 // race the scalar epoch check had (serving the hit is linearised just

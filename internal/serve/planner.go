@@ -72,7 +72,6 @@ func (e *Engine) precomputed(k int, method core.Method) (*planner.Precomputed, e
 		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
 	}
 	key := plannerKey{k: k, method: method}
-	vec := e.epochVec()
 	e.planMu.Lock()
 	if ent, ok := e.plans[key]; ok && e.vecIsCurrent(ent.epochs) {
 		e.planMu.Unlock()
@@ -80,8 +79,7 @@ func (e *Engine) precomputed(k int, method core.Method) (*planner.Precomputed, e
 	}
 	e.planMu.Unlock()
 
-	flightKey := fmt.Sprintf("plan/%d/%d/", k, method) + string(vec.appendBytes(nil))
-	v, err, _ := e.flight.Do(flightKey, func() (any, error) {
+	v, err, _ := e.flight.Do(e.planFlightKey(k, method), func() (any, error) {
 		// The vector is re-read under the read locks (which hold every
 		// writer out, making it exact), so the entry is labelled with
 		// the vector of the snapshot actually precomputed over — not a

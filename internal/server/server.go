@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST   /v1/rknnt              reverse k-nearest-neighbour query
+//	POST   /v1/rknnt/batch        many RkNNT queries, one shared traversal
 //	POST   /v1/knn                k nearest routes to a point
 //	POST   /v1/plan               MaxRkNNT/MinRkNNT route planning
 //	POST   /v1/transitions        batch-add transitions
@@ -34,6 +35,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -81,6 +83,7 @@ func New(e *serve.Engine, opts ...Option) *Server {
 		s.mux.HandleFunc(pattern, s.metrics.instrument(key, h))
 	}
 	handle("POST /v1/rknnt", "/v1/rknnt", s.handleRkNNT)
+	handle("POST /v1/rknnt/batch", "/v1/rknnt/batch", s.handleRkNNTBatch)
 	handle("POST /v1/knn", "/v1/knn", s.handleKNN)
 	handle("POST /v1/plan", "/v1/plan", s.handlePlan)
 	handle("POST /v1/transitions", "POST /v1/transitions", s.handleAddTransitions)
@@ -174,6 +177,67 @@ func (s *Server) handleRkNNT(w http.ResponseWriter, r *http.Request) {
 		},
 		Trace: opts.Trace.Data(),
 	})
+}
+
+// handleRkNNTBatch answers many RkNNT queries sharing one option set in
+// a single request: cache misses execute together through the engine's
+// shared-traversal batch core instead of walking the index once per
+// query. Validation mirrors the single endpoint per query; one invalid
+// query rejects the whole request (the batch shares its option set and
+// snapshot, so partial answers would mask the caller's bug).
+func (s *Server) handleRkNNTBatch(w http.ResponseWriter, r *http.Request) {
+	var req rknntBatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no queries in request"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("too many queries: %d > %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	opts, err := (&rknntRequest{Query: req.Queries[0], K: req.K, Method: req.Method,
+		Semantics: req.Semantics, TimeFrom: req.TimeFrom, TimeTo: req.TimeTo}).options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	queries := make([][]geo.Point, len(req.Queries))
+	for i, q := range req.Queries {
+		if len(q) < 2 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query %d needs at least 2 points, got %d", i, len(q)))
+			return
+		}
+		queries[i] = toPoints(q)
+	}
+	results, err := s.engine.RkNNTBatch(queries, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := rknntBatchResponse{Results: make([]rknntBatchItem, len(results)), Count: len(results)}
+	for i, res := range results {
+		resp.Results[i] = rknntBatchItem{
+			Transitions: res.Transitions,
+			Count:       len(res.Transitions),
+			Cached:      res.Cached,
+			Repaired:    res.Repaired,
+			Shared:      res.Shared,
+			Epoch:       res.Epoch,
+			Stats: queryStatsDTO{
+				FilterMicros: res.Stats.Filter.Microseconds(),
+				VerifyMicros: res.Stats.Verify.Microseconds(),
+				FilterPoints: res.Stats.FilterPoints,
+				FilterRoutes: res.Stats.FilterRoutes,
+				RefineNodes:  res.Stats.RefineNodes,
+				Candidates:   res.Stats.Candidates,
+			},
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {

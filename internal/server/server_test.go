@@ -119,6 +119,60 @@ func TestRkNNTErrors(t *testing.T) {
 	}
 }
 
+func TestRkNNTBatchEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, model.Transition{ID: 7, O: geo.Pt(1, 1), D: geo.Pt(9, 1)})
+
+	w := doJSON(t, s, "POST", "/v1/rknnt/batch", rknntBatchRequest{
+		Queries: [][]PointDTO{y0Query, y0Query, {{X: 0, Y: 50}, {X: 10, Y: 50}}},
+		K:       1,
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	resp := decodeBody[rknntBatchResponse](t, w)
+	if resp.Count != 3 || len(resp.Results) != 3 {
+		t.Fatalf("count %d, results %d, want 3", resp.Count, len(resp.Results))
+	}
+	if resp.Results[0].Count != 1 || resp.Results[0].Transitions[0] != 7 {
+		t.Errorf("query 0: %+v", resp.Results[0])
+	}
+	if !resp.Results[1].Shared {
+		t.Errorf("duplicate query not shared: %+v", resp.Results[1])
+	}
+	// Repeat: everything comes from the cache.
+	w = doJSON(t, s, "POST", "/v1/rknnt/batch", rknntBatchRequest{
+		Queries: [][]PointDTO{y0Query}, K: 1,
+	})
+	if resp := decodeBody[rknntBatchResponse](t, w); !resp.Results[0].Cached {
+		t.Errorf("repeat batch query not cached: %+v", resp.Results[0])
+	}
+}
+
+func TestRkNNTBatchErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+	big := rknntBatchRequest{K: 1}
+	for i := 0; i <= maxBatchQueries; i++ {
+		big.Queries = append(big.Queries, y0Query)
+	}
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"no queries", rknntBatchRequest{K: 1}},
+		{"k zero", rknntBatchRequest{Queries: [][]PointDTO{y0Query}, K: 0}},
+		{"one-point member", rknntBatchRequest{Queries: [][]PointDTO{y0Query, {{X: 1, Y: 1}}}, K: 1}},
+		{"bad method", rknntBatchRequest{Queries: [][]PointDTO{y0Query}, K: 1, Method: "zz"}},
+		{"too many queries", big},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if w := doJSON(t, s, "POST", "/v1/rknnt/batch", tc.body); w.Code != http.StatusBadRequest {
+				t.Errorf("status %d, want 400 (%s)", w.Code, w.Body)
+			}
+		})
+	}
+}
+
 func TestKNNEndpoint(t *testing.T) {
 	s, _ := newTestServer(t)
 	w := doJSON(t, s, "POST", "/v1/knn", knnRequest{Point: PointDTO{X: 5, Y: 0}, K: 2})

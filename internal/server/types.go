@@ -74,6 +74,38 @@ type rknntResponse struct {
 	Trace       *obs.TraceData `json:"trace,omitempty"` // present with ?trace=1
 }
 
+// --- /v1/rknnt/batch ---
+
+// maxBatchQueries caps queries per batch request: combined with
+// maxRequestBody it bounds the work one POST can demand.
+const maxBatchQueries = 256
+
+type rknntBatchRequest struct {
+	Queries   [][]PointDTO `json:"queries"`
+	K         int          `json:"k"`
+	Method    string       `json:"method,omitempty"`    // fr | vo | dc (default) | bf
+	Semantics string       `json:"semantics,omitempty"` // exists (default) | forall
+	TimeFrom  int64        `json:"time_from,omitempty"`
+	TimeTo    int64        `json:"time_to,omitempty"`
+}
+
+// rknntBatchItem is one query's answer within a batch response;
+// results[i] answers queries[i].
+type rknntBatchItem struct {
+	Transitions []model.TransitionID `json:"transitions"`
+	Count       int                  `json:"count"`
+	Cached      bool                 `json:"cached"`
+	Repaired    bool                 `json:"repaired,omitempty"`
+	Shared      bool                 `json:"shared,omitempty"` // intra-batch duplicate of an earlier query
+	Epoch       uint64               `json:"epoch"`
+	Stats       queryStatsDTO        `json:"stats"`
+}
+
+type rknntBatchResponse struct {
+	Results []rknntBatchItem `json:"results"`
+	Count   int              `json:"count"` // queries answered
+}
+
 func parseMethod(s string) (core.Method, error) {
 	switch s {
 	case "", "dc", "divide-conquer":
